@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Benchmarks regenerate the paper's tables and figures.  They default to a
+reduced repetition count so ``pytest benchmarks/ --benchmark-only``
+finishes in minutes; set ``REPRO_FULL=1`` to run the paper's full
+10-repetition campaigns, or ``REPRO_REPS=<n>`` for a custom count.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def repetitions(default: int = 2) -> int:
+    """Campaign repetitions per grid cell for this run."""
+    if os.environ.get("REPRO_FULL") == "1":
+        return 10
+    return int(os.environ.get("REPRO_REPS", default))
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Campaign benches are far too heavy for pytest-benchmark's default
+    auto-calibrated rounds.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

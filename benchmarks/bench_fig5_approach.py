@@ -1,0 +1,39 @@
+"""Fig. 5 — speed and lane-line distance while approaching the lead.
+
+Regenerates the fault-free approach traces for all six scenarios and
+prints compact ASCII panels of the S1 speed profile.
+
+Paper shape asserted: the S1 approach shows the documented hard speed drop
+(the paper quotes 21.7 -> 9.6 m/s, a ~12 m/s sustained drop; we assert a
+drop of at least 6 m/s) followed by stable following, and lane-line
+distances stay positive in every scenario.
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.figures import fig5_series, speed_drop
+from repro.analysis.render import ascii_plot
+
+
+def test_fig5_approach_traces(benchmark):
+    series = run_once(benchmark, lambda: fig5_series(seed=2025, initial_gap=60.0))
+
+    s1 = series["S1"]
+    print()
+    print(ascii_plot(s1.trace.time, s1.trace.ego_speed, label="Fig5/S1 ego speed [m/s]"))
+    print(
+        ascii_plot(
+            s1.trace.time, s1.trace.lane_distance, label="Fig5/S1 lane distance [m]"
+        )
+    )
+
+    # The aggressive approach braking (paper: 21.7 -> 9.6 m/s).
+    assert speed_drop(s1) > 6.0
+    # After the drop the ego settles near the lead speed (~13.4 m/s).
+    tail = s1.trace.ego_speed[-50:]
+    assert 10.0 < sum(tail) / len(tail) < 16.0
+    # Lane keeping never fails in benign runs.
+    for sid, s in series.items():
+        if sid == "S4":
+            continue  # S4 may end in a collision (Table IV)
+        assert min(s.trace.lane_distance) > 0.0, sid

@@ -1,0 +1,47 @@
+"""Fig. 6 — speed and relative distance under an RD fault injection.
+
+Regenerates the attack trace: the perceived RD diverges (+10/+15/+38 m)
+from the true gap, the lead drops out of perception inside the ~2 m blind
+range, the ACC re-accelerates, and the episode ends in a forward collision.
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.figures import fig6_series
+from repro.analysis.render import ascii_plot
+from repro.core.hazards import AccidentType
+
+
+def test_fig6_attack_trace(benchmark):
+    series = run_once(benchmark, lambda: fig6_series(scenario_id="S1", seed=2025))
+
+    t = series.trace
+    print()
+    print(ascii_plot(t.time, t.ego_speed, label="Fig6 ego speed [m/s]"))
+    print(ascii_plot(t.time, t.true_gap, label="Fig6 true RD [m]"))
+    print(ascii_plot(t.time, t.perceived_rd, label="Fig6 perceived RD [m]"))
+
+    # The attack activated and ended in a forward collision.
+    assert series.result.attack_activated
+    assert series.result.accident is AccidentType.A1
+
+    # Perceived RD inflated above truth while the attack was active.
+    divergences = [
+        p - g
+        for p, g, a in zip(t.perceived_rd, t.true_gap, t.attack_active)
+        if a and p == p and g == g
+    ]
+    assert divergences and max(divergences) >= 9.0
+
+    # Close-range detection loss: perception dropped the lead (NaN RD)
+    # while the true gap was still positive (the paper's Fig. 6 cascade).
+    lost = [
+        g for p, g in zip(t.perceived_rd, t.true_gap) if p != p and g == g and g < 3.0
+    ]
+    assert lost
+
+    # Once the lead is lost, braking is released (and, given time, turns
+    # into re-acceleration) instead of continuing to a stop — the collision
+    # arrives while the ACC ramps back toward its cruise set-speed.
+    final_accels = [a for a, p in zip(t.accel, t.perceived_rd) if p != p]
+    assert final_accels and max(final_accels) > min(final_accels) + 1.5

@@ -1,0 +1,38 @@
+"""Platform throughput: closed-loop steps per second.
+
+Not a paper table — this is the engineering bench that keeps the campaign
+runtimes honest (the full Table VI grid is ~2,900 episodes).
+"""
+
+import pytest
+
+from repro.attacks.campaign import EpisodeSpec
+from repro.attacks.fi import FaultType
+from repro.core.platform import SimulationPlatform
+from repro.safety.aebs import AebsConfig
+from repro.safety.arbitration import InterventionConfig
+
+
+def _run_episode(interventions):
+    spec = EpisodeSpec(
+        scenario_id="S1",
+        initial_gap=60.0,
+        fault_type=FaultType.NONE,
+        repetition=0,
+        seed=77,
+    )
+    platform = SimulationPlatform(spec, interventions, max_steps=2000)
+    return platform.run()
+
+
+def test_platform_step_rate_bare(benchmark):
+    result = benchmark(lambda: _run_episode(InterventionConfig()))
+    assert result.steps == 2000
+
+
+def test_platform_step_rate_full_stack(benchmark):
+    cfg = InterventionConfig(
+        driver=True, safety_check=True, aeb=AebsConfig.INDEPENDENT
+    )
+    result = benchmark(lambda: _run_episode(cfg))
+    assert result.steps == 2000

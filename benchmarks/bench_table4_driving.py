@@ -1,0 +1,45 @@
+"""Table IV — ADAS driving performance without attacks.
+
+Regenerates: hazards/accidents per scenario, mean following distance,
+hardest-brake value, min TTC and min t_fcw over the fault-free grid
+(S1-S6 x {60 m, 230 m} x repetitions).
+
+Paper shape asserted:
+* S4 (sudden stop) is the only scenario with frequent accidents;
+* following distances during stable cruise are ~24-34 m;
+* S4 shows the hardest braking (~87-92 % vs ~16-58 % elsewhere);
+* min t_fcw tracks 2.5 + v_min/4.9.
+"""
+
+from _bench_utils import repetitions, run_once
+
+from repro import CampaignSpec, FaultType, InterventionConfig, run_campaign
+from repro.analysis.tables import render_table4, table4_driving_performance
+
+
+def test_table4_driving_performance(benchmark):
+    spec = CampaignSpec(
+        fault_types=[FaultType.NONE], repetitions=repetitions(3), seed=2025
+    )
+
+    def run():
+        return run_campaign(spec, InterventionConfig())
+
+    campaign = run_once(benchmark, run)
+    rows = table4_driving_performance(campaign)
+    print()
+    print(render_table4(rows))
+
+    by_id = {r.scenario_id: r for r in rows}
+    # S4 is the dangerous scenario even without attacks (paper: 10/20).
+    assert by_id["S4"].accident_count > 0
+    for sid in ("S1", "S2", "S6"):
+        assert by_id[sid].accident_count == 0
+    # Hardest braking happens in S4.
+    assert by_id["S4"].hardest_brake_pct == max(r.hardest_brake_pct for r in rows)
+    assert by_id["S4"].hardest_brake_pct > 80.0
+    # Stable following distances in the paper's 23-34 m band.
+    for sid in ("S1", "S5", "S6"):
+        assert 20.0 < by_id[sid].following_distance < 36.0
+    # min TTC ordering: S4 tightest.
+    assert by_id["S4"].min_ttc == min(r.min_ttc for r in rows)

@@ -1,0 +1,28 @@
+"""Table V — minimal distance to lane lines per scenario (fault-free).
+
+Paper shape asserted: minima fall in the 0.05-0.7 m band (imperfect lane
+centring), and no fault-free run actually departs the lane.
+"""
+
+from _bench_utils import repetitions, run_once
+
+from repro import CampaignSpec, FaultType, InterventionConfig, run_campaign
+from repro.analysis.tables import render_table5, table5_lane_distance
+
+
+def test_table5_lane_distance(benchmark):
+    spec = CampaignSpec(
+        fault_types=[FaultType.NONE], repetitions=repetitions(3), seed=2025
+    )
+
+    def run():
+        return run_campaign(spec, InterventionConfig())
+
+    campaign = run_once(benchmark, run)
+    distances = table5_lane_distance(campaign)
+    print()
+    print(render_table5(distances))
+
+    assert set(distances) == {"S1", "S2", "S3", "S4", "S5", "S6"}
+    for sid, dist in distances.items():
+        assert 0.05 < dist < 0.95, f"{sid} min lane distance {dist}"

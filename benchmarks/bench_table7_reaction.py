@@ -1,0 +1,41 @@
+"""Table VII — prevention rate vs. driver reaction time (driver-only).
+
+Re-runs the attack grid with only driver interventions enabled, sweeping
+the reaction time over the paper's 1.0-3.5 s range.
+
+Paper shape asserted: alert drivers (< 2 s) achieve notably better
+prevention than slow drivers (>= 3 s) for every fault type (the paper's
+Observation 5 and Table VII trend).
+"""
+
+from _bench_utils import repetitions, run_once
+
+from repro import CampaignSpec, InterventionConfig, run_campaign
+from repro.analysis.tables import render_table7, table7_reaction_sweep
+
+REACTION_TIMES = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5)
+
+
+def test_table7_reaction_time_sweep(benchmark):
+    spec = CampaignSpec(repetitions=repetitions(1), seed=2025)
+
+    def run():
+        sweeps = {}
+        for rt in REACTION_TIMES:
+            cfg = InterventionConfig(
+                driver=True, driver_reaction_time=rt, name=f"driver@{rt}s"
+            )
+            sweeps[rt] = run_campaign(spec, cfg)
+        return sweeps
+
+    sweeps = run_once(benchmark, run)
+    table = table7_reaction_sweep(sweeps)
+    print()
+    print(render_table7(table))
+
+    for fault, per_rt in table.items():
+        fast = (per_rt[1.0] + per_rt[1.5]) / 2
+        slow = (per_rt[3.0] + per_rt[3.5]) / 2
+        assert fast >= slow, f"{fault}: fast {fast} < slow {slow}"
+        # Alert drivers prevent a substantial share (paper: 53-77 % at 1 s).
+        assert per_rt[1.0] >= 30.0, f"{fault}: {per_rt[1.0]}% at 1.0s"

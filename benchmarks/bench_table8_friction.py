@@ -1,0 +1,48 @@
+"""Table VIII — hazard prevention rate vs. road friction.
+
+Re-runs the campaigns under reduced road friction (dry / -25 % / -50 % /
+-75 %) with the paper's footnoted intervention set (driver + safety check
++ AEB on compromised data).
+
+Paper shape asserted: prevention degrades as friction falls, and the
+curvature/lateral fault type collapses on icy roads (-75 %), while
+moderate rain (-50 %) retains most of the mitigation capability.
+"""
+
+from _bench_utils import repetitions, run_once
+
+from repro import CampaignSpec, FaultType, InterventionConfig, run_campaign
+from repro.analysis.tables import render_table8, table8_friction_sweep
+from repro.safety.aebs import AebsConfig
+from repro.sim.weather import FRICTION_CONDITIONS
+
+
+def test_table8_friction_sweep(benchmark):
+    cfg = InterventionConfig(
+        driver=True, safety_check=True, aeb=AebsConfig.COMPROMISED,
+        name="driver+check+aeb_comp",
+    )
+
+    def run():
+        sweeps = {}
+        for label, condition in FRICTION_CONDITIONS.items():
+            spec = CampaignSpec(
+                fault_types=[FaultType.RELATIVE_DISTANCE, FaultType.DESIRED_CURVATURE],
+                repetitions=repetitions(1),
+                seed=2025,
+                friction=condition,
+            )
+            sweeps[label] = run_campaign(spec, cfg)
+        return sweeps
+
+    sweeps = run_once(benchmark, run)
+    table = table8_friction_sweep(sweeps)
+    print()
+    print(render_table8(table))
+
+    for fault, per_friction in table.items():
+        # Prevention never improves when friction is removed entirely.
+        assert per_friction["default"] >= per_friction["75% off"] - 1e-9, fault
+    # Lateral mitigation collapses on ice (paper: 47 % -> 18 %).
+    curv = table["desired_curvature"]
+    assert curv["75% off"] <= max(curv["default"], 1.0) * 0.8 + 1e-9

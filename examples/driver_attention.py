@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Driver-attention study: prevention rate vs reaction time (Table VII).
+
+Sweeps the driver's reaction time over the paper's 1.0-3.5 s range with
+only driver interventions enabled, on the mixed attack (the hardest to
+mitigate), and prints the prevention trend.
+
+Run:
+    python examples/driver_attention.py
+"""
+
+from repro import CampaignSpec, FaultType, InterventionConfig, run_campaign
+from repro.analysis.render import format_table
+
+
+def main():
+    spec = CampaignSpec(
+        fault_types=[FaultType.MIXED, FaultType.DESIRED_CURVATURE],
+        repetitions=2,
+        seed=2025,
+    )
+    rows = []
+    for reaction_time in (1.0, 1.5, 2.0, 2.5, 3.0, 3.5):
+        cfg = InterventionConfig(
+            driver=True,
+            driver_reaction_time=reaction_time,
+            name=f"driver@{reaction_time:.1f}s",
+        )
+        print(f"simulating drivers with {reaction_time:.1f} s reaction time ...")
+        campaign = run_campaign(spec, cfg)
+        for fault, stats in sorted(campaign.by_fault_type().items()):
+            rows.append(
+                [
+                    f"{reaction_time:.1f} s",
+                    fault,
+                    f"{100 * stats.prevented_rate:.1f}%",
+                    f"{100 * stats.driver_brake_trigger_rate:.1f}%",
+                    f"{100 * stats.driver_steer_trigger_rate:.1f}%",
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["Reaction", "Fault type", "Prevented", "Brake trig", "Steer trig"],
+            rows,
+            title="Prevention rate vs driver reaction time (driver-only)",
+        )
+    )
+    print(
+        "\nThe paper's Observation 5: lateral attacks cannot be easily"
+        " mitigated, but highly alert drivers achieve notably better"
+        " prevention rates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Weather study: hazard mitigation under reduced road friction (Table VIII).
+
+Re-runs the relative-distance and curvature attacks under the four road
+conditions of the paper's Table VIII with the footnoted intervention set
+(driver + safety check + AEB on compromised data).
+
+Run:
+    python examples/icy_road.py
+"""
+
+from repro import CampaignSpec, FaultType, InterventionConfig, run_campaign
+from repro.analysis.render import format_table
+from repro.safety.aebs import AebsConfig
+from repro.sim.weather import FRICTION_CONDITIONS
+
+
+def main():
+    cfg = InterventionConfig(
+        driver=True, safety_check=True, aeb=AebsConfig.COMPROMISED,
+        name="driver+check+aeb_comp",
+    )
+    rows = []
+    for label, condition in FRICTION_CONDITIONS.items():
+        print(
+            f"simulating {label!r} (mu={condition.mu:.2f}, max decel "
+            f"{condition.max_deceleration:.1f} m/s^2) ..."
+        )
+        spec = CampaignSpec(
+            fault_types=[FaultType.RELATIVE_DISTANCE, FaultType.DESIRED_CURVATURE],
+            repetitions=2,
+            seed=2025,
+            friction=condition,
+        )
+        campaign = run_campaign(spec, cfg)
+        for fault, stats in sorted(campaign.by_fault_type().items()):
+            rows.append(
+                [label, f"{condition.mu:.2f}", fault, f"{100 * stats.prevented_rate:.1f}%"]
+            )
+    print()
+    print(
+        format_table(
+            ["Condition", "mu", "Fault type", "Prevented"],
+            rows,
+            title="Hazard prevention vs road friction (Table VIII setup)",
+        )
+    )
+    print(
+        "\nThe paper's finding: mitigation stays roughly stable down to 50%"
+        " friction (heavy rain) but lateral mitigation collapses on icy"
+        " roads (75% off)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Intervention study: a reduced Table VI campaign.
+
+Runs every fault type from the paper's Table III across four intervention
+configurations on identical episode seeds, and prints the resulting
+Table VI-style comparison.
+
+Run:
+    python examples/intervention_study.py           # quick (2 reps)
+    REPRO_FULL=1 python examples/intervention_study.py   # paper-scale
+"""
+
+import os
+
+from repro import AebsConfig, CampaignSpec, InterventionConfig, run_campaign
+from repro.analysis.tables import render_table6, table6_row
+from repro.core.metrics import group_by
+
+CONFIGS = [
+    InterventionConfig(name="none"),
+    InterventionConfig(driver=True, name="driver"),
+    InterventionConfig(aeb=AebsConfig.COMPROMISED, name="aeb_comp"),
+    InterventionConfig(aeb=AebsConfig.INDEPENDENT, name="aeb_indep"),
+    InterventionConfig(
+        driver=True, safety_check=True, aeb=AebsConfig.INDEPENDENT,
+        name="driver+check+aeb_indep",
+    ),
+]
+
+
+def main():
+    reps = 10 if os.environ.get("REPRO_FULL") == "1" else 2
+    spec = CampaignSpec(repetitions=reps, seed=2025)
+    total = 0
+    rows = []
+    for cfg in CONFIGS:
+        def progress(done, n, label=cfg.label()):
+            if done % 24 == 0 or done == n:
+                print(f"  [{label}] {done}/{n} episodes", flush=True)
+
+        print(f"running campaign under {cfg.label()!r} ...")
+        campaign = run_campaign(spec, cfg, progress=progress)
+        total += len(campaign.results)
+        for fault, results in sorted(group_by(campaign.results, "fault_type").items()):
+            rows.append(table6_row(results, cfg.label()))
+
+    rows.sort(key=lambda r: (r.fault_type, r.intervention))
+    print()
+    print(render_table6(rows))
+    print(f"\n{total} episodes simulated.")
+    print(
+        "Compare with the paper's Table VI: independent-sensor AEB dominates"
+        " on relative-distance attacks, lateral (curvature) attacks stay the"
+        " hardest to mitigate, and every mechanism beats no protection."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: one adversarial-patch attack episode, with and without AEB.
+
+Runs the paper's headline situation — a relative-distance patch on the
+rear of the lead vehicle while the ego approaches at 50 mph — first with
+no safety interventions (ends in a forward collision), then with an AEBS
+driven by an independent sensor (prevented).
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import AebsConfig, EpisodeSpec, FaultType, InterventionConfig, run_episode
+
+
+def describe(label, result):
+    outcome = result.accident.value if result.accident else "no accident"
+    print(f"\n=== {label} ===")
+    print(f"  outcome:            {outcome}")
+    if result.accident_time is not None:
+        print(f"  accident time:      {result.accident_time:.2f} s")
+    print(f"  attack first active: {result.attack_first_activation}")
+    print(f"  min TTC:            {result.min_ttc:.2f} s")
+    print(f"  hardest brake:      {100 * result.hardest_brake_fraction:.1f} %")
+    print(f"  AEB triggered:      {result.aeb.triggered}")
+    if result.aeb.triggered:
+        print(f"  AEB braking time:   {result.aeb.active_duration:.2f} s")
+    print(f"  prevented:          {result.prevented}")
+
+
+def main():
+    spec = EpisodeSpec(
+        scenario_id="S1",          # lead cruises at 30 mph
+        initial_gap=60.0,           # metres
+        fault_type=FaultType.RELATIVE_DISTANCE,
+        repetition=0,
+        seed=2025,
+    )
+
+    unprotected = run_episode(spec, InterventionConfig())
+    describe("No safety interventions", unprotected)
+    assert unprotected.accident is not None
+
+    protected = run_episode(spec, InterventionConfig(aeb=AebsConfig.INDEPENDENT))
+    describe("AEB with independent sensor", protected)
+    assert protected.accident is None
+
+    print(
+        "\nThe same attack on identical initial conditions: the independent-"
+        "sensor AEBS turns a certain collision into a prevented incident."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) fail.  This shim enables the
+legacy ``pip install -e . --no-use-pep517 --no-build-isolation`` path, which
+uses ``setup.py develop`` and needs no wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro — reproduction of "Safety Interventions against Adversarial Patches
+in an Open-Source Driver Assistance System" (DSN 2025).
+
+A from-scratch closed-loop ADAS evaluation platform: an OpenPilot-substitute
+control stack in the loop with a MetaDrive-substitute highway simulator, a
+source-level fault-injection engine emulating adversarial-patch perception
+attacks, layered safety interventions (AEBS/FCW, firmware safety checks,
+simulated human driver), and an LSTM+CUSUM ML mitigation baseline.
+
+Quickstart::
+
+    from repro import (
+        EpisodeSpec, FaultType, InterventionConfig, AebsConfig, run_episode,
+    )
+
+    spec = EpisodeSpec(
+        scenario_id="S1", initial_gap=60.0,
+        fault_type=FaultType.RELATIVE_DISTANCE, repetition=0, seed=7,
+    )
+    safety = InterventionConfig(driver=True, aeb=AebsConfig.INDEPENDENT)
+    result = run_episode(spec, safety)
+    print(result.accident, result.prevented)
+"""
+
+from repro.attacks import (
+    CampaignSpec,
+    EpisodeSpec,
+    FaultInjectionEngine,
+    FaultType,
+    enumerate_campaign,
+)
+from repro.core import (
+    AccidentType,
+    CampaignResult,
+    EpisodeResult,
+    SimulationPlatform,
+    aggregate,
+    run_campaign,
+    run_episode,
+)
+from repro.safety import AebsConfig, InterventionConfig
+from repro.sim import SCENARIO_IDS, FRICTION_CONDITIONS, ScenarioConfig, build_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignSpec",
+    "EpisodeSpec",
+    "FaultInjectionEngine",
+    "FaultType",
+    "enumerate_campaign",
+    "AccidentType",
+    "CampaignResult",
+    "EpisodeResult",
+    "SimulationPlatform",
+    "aggregate",
+    "run_campaign",
+    "run_episode",
+    "AebsConfig",
+    "InterventionConfig",
+    "SCENARIO_IDS",
+    "FRICTION_CONDITIONS",
+    "ScenarioConfig",
+    "build_scenario",
+    "__version__",
+]

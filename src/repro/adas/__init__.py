@@ -1,0 +1,38 @@
+"""OpenPilot-substitute ADAS control software.
+
+The stack mirrors OpenPilot's end-to-end architecture at the granularity the
+paper's experiments need:
+
+* :mod:`repro.adas.perception` — the "supercombo" surrogate: produces the
+  DNN outputs (lead relative distance/speed, lane-line distances, desired
+  curvature) that the paper's fault-injection engine tampers with.  Includes
+  the close-range detection failure the paper documents (lead lost below
+  ~2 m) and the camera's finite detection range.
+* :mod:`repro.adas.lead_tracker` — alpha-beta filter over perceived lead
+  state with brief coasting over dropouts.
+* :mod:`repro.adas.long_planner` — ACC: cruise + following + approach
+  braking with OpenPilot's documented aggressive late-braking profile.
+* :mod:`repro.adas.lat_planner` — ALC: desired curvature to road-wheel
+  steering angle with model-latency lag.
+* :mod:`repro.adas.controlsd` — the 100 Hz glue joining them into the
+  engaged ADAS command (acceleration, steering).
+"""
+
+from repro.adas.perception import PerceptionModel, PerceptionOutput
+from repro.adas.lead_tracker import LeadTracker, TrackedLead
+from repro.adas.long_planner import LongPlanner, LongPlannerParams
+from repro.adas.lat_planner import LatPlanner, LatPlannerParams
+from repro.adas.controlsd import AdasCommand, ControlsD
+
+__all__ = [
+    "PerceptionModel",
+    "PerceptionOutput",
+    "LeadTracker",
+    "TrackedLead",
+    "LongPlanner",
+    "LongPlannerParams",
+    "LatPlanner",
+    "LatPlannerParams",
+    "AdasCommand",
+    "ControlsD",
+]

@@ -1,0 +1,63 @@
+"""The 100 Hz control-loop glue (OpenPilot's ``controlsd``).
+
+Feeds one perception frame (after any fault injection) through the lead
+tracker and both planners and emits the engaged ADAS actuator command.
+The safety layers (:mod:`repro.safety`) and the arbitration logic sit
+*outside* this module, exactly as PANDA/AEBS sit outside OpenPilot's
+control process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adas.lat_planner import LatPlanner, LatPlannerParams
+from repro.adas.lead_tracker import LeadTracker, TrackedLead
+from repro.adas.long_planner import LongPlanner, LongPlannerParams
+from repro.adas.perception import PerceptionOutput
+
+
+@dataclass(frozen=True)
+class AdasCommand:
+    """The engaged ADAS actuator command for one control step.
+
+    Attributes:
+        accel: longitudinal acceleration command [m/s^2].
+        steer: road-wheel steering angle command [rad].
+    """
+
+    accel: float
+    steer: float
+
+
+class ControlsD:
+    """OpenPilot-style control loop: perception frame in, command out."""
+
+    def __init__(
+        self,
+        set_speed: float,
+        long_params: LongPlannerParams | None = None,
+        lat_params: LatPlannerParams | None = None,
+    ) -> None:
+        self.long_planner = LongPlanner(set_speed, long_params)
+        self.lat_planner = LatPlanner(lat_params)
+        self.tracker = LeadTracker()
+        self.last_command = AdasCommand(0.0, 0.0)
+        self.last_lead = TrackedLead(False, 0.0, 0.0)
+
+    def reset(self) -> None:
+        """Reset all controller state (start of an episode)."""
+        self.long_planner.reset()
+        self.lat_planner.reset()
+        self.tracker.reset()
+        self.last_command = AdasCommand(0.0, 0.0)
+        self.last_lead = TrackedLead(False, 0.0, 0.0)
+
+    def update(self, perception: PerceptionOutput, ego_speed: float, dt: float) -> AdasCommand:
+        """Run one control step and return the actuator command."""
+        lead = self.tracker.update(perception, dt)
+        accel = self.long_planner.plan(ego_speed, lead)
+        steer = self.lat_planner.plan(perception.desired_curvature, dt)
+        self.last_lead = lead
+        self.last_command = AdasCommand(accel=accel, steer=steer)
+        return self.last_command

@@ -1,0 +1,92 @@
+"""Lead tracking: an alpha-beta filter over the perceived lead state.
+
+OpenPilot fuses model and radar leads into a smoothed track; here a compact
+alpha-beta filter plays that role.  Two properties matter downstream:
+
+* smoothing keeps single-frame perception noise out of the ACC command;
+* on detection dropout the track *coasts* briefly (predicting RD forward
+  with the last relative speed) before invalidating — so a one-frame flicker
+  does not disengage following, but a sustained loss (e.g. the close-range
+  blind spot) does, after ``coast_time`` seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adas.perception import PerceptionOutput
+
+
+@dataclass(frozen=True)
+class TrackedLead:
+    """Smoothed lead state consumed by the ACC planner.
+
+    Attributes:
+        valid: True while the track is alive.
+        rd: filtered relative distance [m].
+        rs: filtered relative (closing) speed [m/s].
+    """
+
+    valid: bool
+    rd: float
+    rs: float
+
+
+class LeadTracker:
+    """Alpha-beta filter with dropout coasting.
+
+    Args:
+        alpha: position-correction gain (0..1).
+        beta: velocity-correction gain (0..1).
+        coast_time: seconds the track survives without a detection.
+    """
+
+    def __init__(self, alpha: float = 0.35, beta: float = 0.12, coast_time: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0 or not 0.0 < beta <= 1.0:
+            raise ValueError("alpha and beta must be in (0, 1]")
+        if coast_time < 0.0:
+            raise ValueError(f"coast_time must be non-negative, got {coast_time}")
+        self.alpha = alpha
+        self.beta = beta
+        self.coast_time = coast_time
+        self._valid = False
+        self._rd = 0.0
+        self._rs = 0.0
+        self._time_since_seen = 0.0
+
+    def reset(self) -> None:
+        """Drop the track (start of an episode)."""
+        self._valid = False
+        self._rd = 0.0
+        self._rs = 0.0
+        self._time_since_seen = 0.0
+
+    def update(self, perception: PerceptionOutput, dt: float) -> TrackedLead:
+        """Fold one perception frame into the track and return it."""
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if perception.lead_valid:
+            if not self._valid:
+                # (Re)initialise directly on the measurement.
+                self._rd = perception.lead_rd
+                self._rs = perception.lead_rs
+                self._valid = True
+            else:
+                predicted = self._rd - self._rs * dt
+                residual = perception.lead_rd - predicted
+                self._rd = max(0.0, predicted + self.alpha * residual)
+                # RS is a closing speed, so a shrinking RD means positive RS:
+                self._rs = self._rs - (self.beta / dt) * residual * dt
+                self._rs += self.beta * (perception.lead_rs - self._rs)
+            self._time_since_seen = 0.0
+        elif self._valid:
+            self._time_since_seen += dt
+            if self._time_since_seen > self.coast_time:
+                self._valid = False
+            else:
+                self._rd = max(0.0, self._rd - self._rs * dt)
+        return self.current()
+
+    def current(self) -> TrackedLead:
+        """The current track without folding in a new frame."""
+        return TrackedLead(valid=self._valid, rd=self._rd, rs=self._rs)

@@ -1,0 +1,129 @@
+"""ACC longitudinal planner.
+
+Reproduces the qualitative longitudinal behaviour the paper measures on
+OpenPilot v0.9.7:
+
+* **stable following** at ``min_gap + time_gap * v`` behind the lead
+  (Table IV's 23.7-29.9 m following distances at ~30 mph leads);
+* **aggressive late braking when approaching** — cruise is held until the
+  kinematically-required deceleration toward the desired gap exceeds a
+  trigger level, then the planner demands (a margin above) that required
+  deceleration.  This is the "speed suddenly drops from about 21.7 m/s to
+  9.6 m/s ... within 4.7 seconds" profile of Fig. 5;
+* **panic braking** beyond the ISO comfort envelope when TTC collapses
+  (Table IV's 86.7 % hardest-brake value in S4) — note the firmware safety
+  checker, when enabled, clamps this back to -3.5 m/s^2, mirroring the
+  PANDA/ISO 22179 conservative design tension the paper discusses;
+* **full re-acceleration when no lead is tracked** — combined with the
+  perception blind spot this is what drives the Fig. 6 collision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adas.lead_tracker import TrackedLead
+from repro.utils.mathx import clamp
+
+
+@dataclass(frozen=True)
+class LongPlannerParams:
+    """Tuning constants for :class:`LongPlanner`.
+
+    Attributes:
+        time_gap: desired following time gap [s].
+        min_gap: desired standstill gap [m].
+        cruise_gain: P gain of the cruise speed loop [1/s].
+        cruise_accel_limit: max acceleration while cruising [m/s^2].
+        approach_trigger_decel: required deceleration that switches the
+            planner from cruising to braking [m/s^2] — the *lateness* knob.
+        approach_margin: multiplier applied to the required deceleration
+            once braking (slightly over-braking, hence the Fig. 5
+            oscillation).
+        comfort_brake_limit: deceleration cap outside panic mode [m/s^2].
+        panic_ttc: TTC below which panic braking engages [s].
+        panic_decel: panic braking command [m/s^2].
+        max_accel: command ceiling [m/s^2].
+    """
+
+    time_gap: float = 1.45
+    min_gap: float = 6.0
+    cruise_gain: float = 0.45
+    cruise_accel_limit: float = 1.6
+    approach_trigger_decel: float = 2.9
+    approach_margin: float = 1.10
+    comfort_brake_limit: float = 3.5
+    panic_ttc: float = 1.3
+    panic_decel: float = 9.0
+    max_accel: float = 2.0
+
+
+class LongPlanner:
+    """Maps (ego speed, cruise set-speed, tracked lead) to an accel command."""
+
+    def __init__(self, set_speed: float, params: LongPlannerParams | None = None) -> None:
+        if set_speed <= 0.0:
+            raise ValueError(f"set_speed must be positive, got {set_speed}")
+        self.set_speed = set_speed
+        self.params = params or LongPlannerParams()
+        self._braking = False  # hysteresis on the approach-braking phase
+
+    def reset(self) -> None:
+        """Clear the braking-phase latch (start of an episode)."""
+        self._braking = False
+
+    def desired_gap(self, speed: float) -> float:
+        """Target following gap at ``speed`` [m]."""
+        return self.params.min_gap + self.params.time_gap * speed
+
+    def plan(self, speed: float, lead: TrackedLead) -> float:
+        """Compute the longitudinal acceleration command [m/s^2].
+
+        Args:
+            speed: ego speed [m/s].
+            lead: current lead track (possibly invalid).
+        """
+        p = self.params
+        cruise_accel = clamp(
+            p.cruise_gain * (self.set_speed - speed),
+            -p.comfort_brake_limit,
+            p.cruise_accel_limit,
+        )
+        if not lead.valid:
+            self._braking = False
+            return clamp(cruise_accel, -p.comfort_brake_limit, p.max_accel)
+
+        gap, closing = lead.rd, lead.rs
+        target_gap = self.desired_gap(speed)
+
+        # Panic: TTC below the threshold means the comfort envelope cannot
+        # avoid contact any more — demand everything the brakes have.
+        if closing > 0.5 and gap / closing < p.panic_ttc:
+            self._braking = True
+            return -p.panic_decel
+
+        follow_accel = self._follow_accel(gap, closing, target_gap, cruise_accel)
+        return clamp(min(cruise_accel, follow_accel), -p.comfort_brake_limit, p.max_accel)
+
+    def _follow_accel(
+        self, gap: float, closing: float, target_gap: float, cruise_accel: float
+    ) -> float:
+        """Following/approach law (see module docstring)."""
+        p = self.params
+        margin = gap - target_gap
+        if closing > 0.15:
+            if margin <= 0.5:
+                required = p.comfort_brake_limit
+            else:
+                # Constant-deceleration kinematics: wipe out the closing
+                # speed exactly when reaching the desired gap.
+                required = (closing * closing) / (2.0 * margin)
+            if self._braking or required > p.approach_trigger_decel:
+                self._braking = True
+                return -min(required * p.approach_margin, p.comfort_brake_limit)
+            # Far away and closing slowly: keep cruising (the "late" part).
+            return cruise_accel
+        # Not closing: regulate the gap with a soft PD toward the target.
+        self._braking = False
+        gap_accel = 0.08 * margin - 0.45 * closing
+        return clamp(gap_accel, -p.comfort_brake_limit, p.max_accel)

@@ -1,0 +1,34 @@
+"""Result analysis: the paper's tables and figures.
+
+* :mod:`repro.analysis.render` — plain-text table and sparkline rendering.
+* :mod:`repro.analysis.tables` — generators for Tables IV, V, VI, VII and
+  VIII from campaign results.
+* :mod:`repro.analysis.figures` — time-series extraction for Figs. 5 and 6
+  (ASCII plots + CSV rows).
+"""
+
+from repro.analysis.render import ascii_plot, format_table
+from repro.analysis.tables import (
+    Table4Row,
+    Table6Row,
+    table4_driving_performance,
+    table5_lane_distance,
+    table6_row,
+    table7_reaction_sweep,
+    table8_friction_sweep,
+)
+from repro.analysis.figures import fig5_series, fig6_series
+
+__all__ = [
+    "ascii_plot",
+    "format_table",
+    "Table4Row",
+    "Table6Row",
+    "table4_driving_performance",
+    "table5_lane_distance",
+    "table6_row",
+    "table7_reaction_sweep",
+    "table8_friction_sweep",
+    "fig5_series",
+    "fig6_series",
+]

@@ -1,0 +1,83 @@
+"""Plain-text rendering helpers for tables and quick time-series plots.
+
+The benchmarks print the reproduced tables with these helpers so the
+paper-versus-measured comparison can be read straight off the pytest
+output (and is captured into ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: column headers.
+        rows: cell values (converted with ``str``).
+        title: optional title line printed above the table.
+    """
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 72,
+    height: int = 14,
+    label: str = "",
+) -> str:
+    """Render a single series as a compact ASCII plot.
+
+    NaN samples are skipped (used for "lead not perceived" stretches in
+    Fig. 6 traces).
+    """
+    pairs = [(x, y) for x, y in zip(xs, ys) if y == y]  # drop NaN
+    if not pairs:
+        return f"{label}: (no data)"
+    xs_f = [p[0] for p in pairs]
+    ys_f = [p[1] for p in pairs]
+    x_lo, x_hi = min(xs_f), max(xs_f)
+    y_lo, y_hi = min(ys_f), max(ys_f)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in pairs:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = [f"{label}  [y: {y_lo:.2f}..{y_hi:.2f}, x: {x_lo:.1f}..{x_hi:.1f}]"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Full experiment report: run every campaign and emit one markdown file.
+
+``python -m repro report`` (see :mod:`repro.cli`) uses this to regenerate
+the complete evaluation — Tables IV-VIII plus the Fig. 5/6 trace summaries
+— into a single self-contained document, mirroring the paper's evaluation
+section layout.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.figures import fig5_series, fig6_series, speed_drop
+from repro.analysis.tables import (
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8,
+    table4_driving_performance,
+    table5_lane_distance,
+    table6_row,
+    table7_reaction_sweep,
+    table8_friction_sweep,
+)
+from repro.attacks.campaign import CampaignSpec
+from repro.attacks.fi import FaultType
+from repro.core.experiment import run_campaign
+from repro.core.metrics import group_by
+from repro.safety.aebs import AebsConfig
+from repro.safety.arbitration import InterventionConfig
+from repro.sim.weather import FRICTION_CONDITIONS
+
+
+@dataclass
+class ReportConfig:
+    """What to include and at which scale.
+
+    Attributes:
+        repetitions: campaign repetitions per grid cell (paper: 10).
+        seed: master campaign seed.
+        include_ml: include the ML baseline row (requires/uses the cached
+            LSTM; training is triggered if no cache exists).
+        reaction_times: Table VII sweep points.
+        log: progress sink (e.g. ``print``).
+    """
+
+    repetitions: int = 2
+    seed: int = 2025
+    include_ml: bool = False
+    reaction_times: tuple = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5)
+    log: Optional[Callable[[str], None]] = None
+
+    def _say(self, message: str) -> None:
+        if self.log is not None:
+            self.log(message)
+
+
+#: The Table VI intervention rows, in paper order.
+TABLE6_CONFIGS = (
+    InterventionConfig(name="none"),
+    InterventionConfig(driver=True, safety_check=True, name="driver+check"),
+    InterventionConfig(
+        driver=True, safety_check=True, aeb=AebsConfig.COMPROMISED,
+        name="driver+check+aeb_comp",
+    ),
+    InterventionConfig(
+        driver=True, safety_check=True, aeb=AebsConfig.INDEPENDENT,
+        name="driver+check+aeb_indep",
+    ),
+    InterventionConfig(aeb=AebsConfig.COMPROMISED, name="aeb_comp"),
+    InterventionConfig(aeb=AebsConfig.INDEPENDENT, name="aeb_indep"),
+    InterventionConfig(driver=True, name="driver"),
+)
+
+
+def generate_report(config: ReportConfig = ReportConfig()) -> str:
+    """Run all campaigns and return the full markdown report."""
+    started = time.time()
+    sections: List[str] = [
+        "# Reproduction report",
+        "",
+        f"repetitions per grid cell: {config.repetitions}; "
+        f"campaign seed: {config.seed}",
+        "",
+    ]
+
+    # ---- Tables IV & V (fault-free grid) --------------------------------
+    config._say("running fault-free campaign (Tables IV, V) ...")
+    benign = run_campaign(
+        CampaignSpec(
+            fault_types=[FaultType.NONE],
+            repetitions=config.repetitions,
+            seed=config.seed,
+        ),
+        InterventionConfig(),
+    )
+    sections += ["```", render_table4(table4_driving_performance(benign)), "```", ""]
+    sections += ["```", render_table5(table5_lane_distance(benign)), "```", ""]
+
+    # ---- Fig. 5 / Fig. 6 summaries ---------------------------------------
+    config._say("tracing Fig. 5 / Fig. 6 episodes ...")
+    fig5 = fig5_series(seed=config.seed)
+    drops = {sid: speed_drop(s) for sid, s in fig5.items()}
+    sections += [
+        "## Fig. 5 — approach speed drops [m/s]",
+        "",
+        ", ".join(f"{sid}: {drop:.1f}" for sid, drop in sorted(drops.items())),
+        "",
+    ]
+    fig6 = fig6_series(seed=config.seed)
+    outcome = fig6.result.accident.value if fig6.result.accident else "none"
+    sections += [
+        "## Fig. 6 — RD-attack trace",
+        "",
+        f"outcome: {outcome} at t={fig6.result.accident_time}; "
+        f"attack from t={fig6.result.attack_first_activation}",
+        "",
+    ]
+
+    # ---- Table VI ----------------------------------------------------------
+    spec = CampaignSpec(repetitions=config.repetitions, seed=config.seed)
+    rows = []
+    for cfg in TABLE6_CONFIGS:
+        config._say(f"running Table VI campaign: {cfg.label()} ...")
+        campaign = run_campaign(spec, cfg)
+        for fault, results in sorted(group_by(campaign.results, "fault_type").items()):
+            rows.append(table6_row(results, cfg.label()))
+    if config.include_ml:
+        config._say("running Table VI campaign: ml ...")
+        from repro.ml import MitigationController, TrainerConfig, load_or_train_cached
+
+        baseline = load_or_train_cached(TrainerConfig())
+        campaign = run_campaign(
+            spec,
+            InterventionConfig(ml=True, name="ml"),
+            ml_factory=lambda: MitigationController(baseline),
+        )
+        for fault, results in sorted(group_by(campaign.results, "fault_type").items()):
+            rows.append(table6_row(results, "ml"))
+    rows.sort(key=lambda r: (r.fault_type, r.intervention))
+    sections += ["```", render_table6(rows), "```", ""]
+
+    # ---- Table VII ---------------------------------------------------------
+    sweeps = {}
+    for rt in config.reaction_times:
+        config._say(f"running Table VII sweep: reaction time {rt} s ...")
+        sweeps[rt] = run_campaign(
+            spec, InterventionConfig(driver=True, driver_reaction_time=rt)
+        )
+    sections += ["```", render_table7(table7_reaction_sweep(sweeps)), "```", ""]
+
+    # ---- Table VIII ---------------------------------------------------------
+    friction_sweeps = {}
+    cfg8 = InterventionConfig(
+        driver=True, safety_check=True, aeb=AebsConfig.COMPROMISED
+    )
+    for label, condition in FRICTION_CONDITIONS.items():
+        config._say(f"running Table VIII sweep: {label} ...")
+        friction_sweeps[label] = run_campaign(
+            CampaignSpec(
+                fault_types=[FaultType.RELATIVE_DISTANCE, FaultType.DESIRED_CURVATURE],
+                repetitions=config.repetitions,
+                seed=config.seed,
+                friction=condition,
+            ),
+            cfg8,
+        )
+    sections += ["```", render_table8(table8_friction_sweep(friction_sweeps)), "```", ""]
+
+    sections.append(f"_generated in {time.time() - started:.0f} s_")
+    return "\n".join(sections)

@@ -1,0 +1,119 @@
+"""Statistical helpers for campaign results.
+
+The paper reports point estimates over 10-repetition grids; for honest
+comparison at reduced repetition counts the benches (and EXPERIMENTS.md)
+want uncertainty estimates.  Provides:
+
+* :func:`wilson_interval` — binomial confidence interval for prevention /
+  accident rates (robust at the small n and extreme p of these campaigns,
+  unlike the normal approximation);
+* :func:`rate_difference_significant` — quick two-proportion z-test for
+  "does intervention A beat intervention B on this grid";
+* :func:`bootstrap_mean` — percentile bootstrap for mitigation-time means.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Args:
+        successes: number of successes (0..trials).
+        trials: number of trials (> 0).
+        confidence: two-sided confidence level in (0, 1).
+
+    Returns:
+        ``(lower, upper)`` bounds in [0, 1].
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside [0, {trials}]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    z = _z_for(confidence)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    spread = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return max(0.0, centre - spread), min(1.0, centre + spread)
+
+
+def rate_difference_significant(
+    successes_a: int,
+    trials_a: int,
+    successes_b: int,
+    trials_b: int,
+    confidence: float = 0.95,
+) -> bool:
+    """Two-proportion z-test: is rate A different from rate B?
+
+    Uses the pooled-variance z statistic; returns True when the difference
+    is significant at the requested confidence level.
+    """
+    if trials_a <= 0 or trials_b <= 0:
+        raise ValueError("trials must be positive")
+    p_a = successes_a / trials_a
+    p_b = successes_b / trials_b
+    pooled = (successes_a + successes_b) / (trials_a + trials_b)
+    variance = pooled * (1 - pooled) * (1 / trials_a + 1 / trials_b)
+    if variance == 0.0:
+        return p_a != p_b
+    z = abs(p_a - p_b) / math.sqrt(variance)
+    return z > _z_for(confidence)
+
+
+def bootstrap_mean(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> Optional[Tuple[float, float]]:
+    """Percentile-bootstrap confidence interval of the mean.
+
+    Returns None for an empty sample (e.g. a mechanism that never fired).
+    """
+    if not values:
+        return None
+    rng = np.random.default_rng(seed)
+    data = np.asarray(values, dtype=float)
+    means = np.empty(resamples)
+    for i in range(resamples):
+        means[i] = rng.choice(data, size=len(data), replace=True).mean()
+    alpha = (1.0 - confidence) / 2.0
+    return float(np.quantile(means, alpha)), float(np.quantile(means, 1.0 - alpha))
+
+
+def _z_for(confidence: float) -> float:
+    """Two-sided standard-normal quantile for a confidence level.
+
+    Small lookup with linear interpolation — avoids a scipy dependency in
+    the core package (scipy is available in dev environments but the
+    library only requires numpy).
+    """
+    table = (
+        (0.80, 1.2816),
+        (0.90, 1.6449),
+        (0.95, 1.9600),
+        (0.98, 2.3263),
+        (0.99, 2.5758),
+        (0.995, 2.8070),
+        (0.999, 3.2905),
+    )
+    if confidence <= table[0][0]:
+        return table[0][1]
+    if confidence >= table[-1][0]:
+        return table[-1][1]
+    for (c0, z0), (c1, z1) in zip(table, table[1:]):
+        if c0 <= confidence <= c1:
+            t = (confidence - c0) / (c1 - c0)
+            return z0 + t * (z1 - z0)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,263 @@
+"""Table generators — one per evaluation table in the paper.
+
+Each generator consumes campaign results (see
+:mod:`repro.core.experiment`) and returns structured rows plus helpers for
+plain-text rendering, mirroring the layout of the corresponding paper
+table so side-by-side comparison is direct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.experiment import CampaignResult
+from repro.core.metrics import EpisodeResult, aggregate, group_by
+from repro.analysis.render import format_table
+from repro.sim.scenarios import SCENARIO_IDS
+
+
+# --------------------------------------------------------------------- #
+# Table IV — fault-free driving performance
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One scenario row of Table IV."""
+
+    scenario_id: str
+    hazard_count: int
+    accident_count: int
+    episodes: int
+    following_distance: Optional[float]
+    hardest_brake_pct: float
+    min_ttc: float
+    min_tfcw: float
+
+
+def table4_driving_performance(campaign: CampaignResult) -> List[Table4Row]:
+    """Reproduce Table IV (hardest-brake / TTC / following distance)."""
+    rows: List[Table4Row] = []
+    groups = group_by(campaign.results, "scenario_id")
+    for sid in SCENARIO_IDS:
+        results = groups.get(sid)
+        if not results:
+            continue
+        stats = aggregate(results)
+        rows.append(
+            Table4Row(
+                scenario_id=sid,
+                hazard_count=sum(1 for r in results if r.h1 or r.h2),
+                accident_count=sum(1 for r in results if r.crashed),
+                episodes=len(results),
+                following_distance=stats.mean_following_distance,
+                hardest_brake_pct=100.0 * max(r.hardest_brake_fraction for r in results),
+                min_ttc=stats.min_ttc,
+                min_tfcw=stats.min_tfcw,
+            )
+        )
+    return rows
+
+
+def render_table4(rows: Sequence[Table4Row]) -> str:
+    """Plain-text Table IV."""
+    return format_table(
+        ["Scenario", "Hazard", "Accident", "Follow Dist (m)", "Hard Brake", "min TTC (s)", "min tfcw (s)"],
+        [
+            [
+                r.scenario_id,
+                f"{r.hazard_count}/{r.episodes}",
+                f"{r.accident_count}/{r.episodes}",
+                r.following_distance,
+                f"{r.hardest_brake_pct:.1f}%",
+                r.min_ttc,
+                r.min_tfcw,
+            ]
+            for r in rows
+        ],
+        title="Table IV: Driving performance without attacks",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Table V — minimal distance to lane lines
+# --------------------------------------------------------------------- #
+
+
+def table5_lane_distance(campaign: CampaignResult) -> Dict[str, float]:
+    """Reproduce Table V: per-scenario minimal lane-line distance [m]."""
+    groups = group_by(campaign.results, "scenario_id")
+    return {
+        sid: min(r.min_lane_distance for r in results)
+        for sid, results in sorted(groups.items())
+    }
+
+
+def render_table5(distances: Dict[str, float]) -> str:
+    """Plain-text Table V."""
+    sids = [s for s in SCENARIO_IDS if s in distances]
+    return format_table(
+        ["Scenario"] + sids,
+        [["Distance to Lane Lines (m)"] + [f"{distances[s]:.2f}" for s in sids]],
+        title="Table V: Minimal distance to lane lines",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Table VI — fault injection with/without safety interventions
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    """One (fault type, intervention) row of Table VI.
+
+    Percentages in [0, 100]; mitigation times in seconds (None when the
+    mechanism never triggered).
+    """
+
+    fault_type: str
+    intervention: str
+    a1_pct: float
+    a2_pct: float
+    prevented_pct: float
+    aeb_time: Optional[float]
+    driver_brake_time: Optional[float]
+    driver_steer_time: Optional[float]
+    aeb_trigger_pct: float
+    driver_brake_trigger_pct: float
+    driver_steer_trigger_pct: float
+
+
+def table6_row(results: Sequence[EpisodeResult], intervention: str) -> Table6Row:
+    """Aggregate one Table VI row from a homogeneous result set."""
+    if not results:
+        raise ValueError("cannot build a Table VI row from no results")
+    stats = aggregate(results)
+    fault_types = {r.fault_type for r in results}
+    fault = fault_types.pop() if len(fault_types) == 1 else "mixed-set"
+    return Table6Row(
+        fault_type=fault,
+        intervention=intervention,
+        a1_pct=100.0 * stats.a1_rate,
+        a2_pct=100.0 * stats.a2_rate,
+        prevented_pct=100.0 * stats.prevented_rate,
+        aeb_time=stats.aeb_mitigation_time,
+        driver_brake_time=stats.driver_brake_mitigation_time,
+        driver_steer_time=stats.driver_steer_mitigation_time,
+        aeb_trigger_pct=100.0 * stats.aeb_trigger_rate,
+        driver_brake_trigger_pct=100.0 * stats.driver_brake_trigger_rate,
+        driver_steer_trigger_pct=100.0 * stats.driver_steer_trigger_rate,
+    )
+
+
+def render_table6(rows: Sequence[Table6Row]) -> str:
+    """Plain-text Table VI."""
+    return format_table(
+        [
+            "Fault",
+            "Interventions",
+            "A1",
+            "A2",
+            "Prevented",
+            "t_AEB",
+            "t_DrvBrake",
+            "t_DrvSteer",
+            "AEB trig",
+            "Brake trig",
+            "Steer trig",
+        ],
+        [
+            [
+                r.fault_type,
+                r.intervention,
+                f"{r.a1_pct:.1f}%",
+                f"{r.a2_pct:.1f}%",
+                f"{r.prevented_pct:.1f}%",
+                r.aeb_time,
+                r.driver_brake_time,
+                r.driver_steer_time,
+                f"{r.aeb_trigger_pct:.1f}%",
+                f"{r.driver_brake_trigger_pct:.1f}%",
+                f"{r.driver_steer_trigger_pct:.1f}%",
+            ]
+            for r in rows
+        ],
+        title="Table VI: Fault injection with/without safety interventions",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Table VII — prevention rate vs. driver reaction time
+# --------------------------------------------------------------------- #
+
+
+def table7_reaction_sweep(
+    sweeps: Dict[float, CampaignResult]
+) -> Dict[str, Dict[float, float]]:
+    """Reproduce Table VII.
+
+    Args:
+        sweeps: reaction time [s] -> driver-only campaign result.
+
+    Returns:
+        fault type -> {reaction time -> prevention rate in [0, 100]}.
+    """
+    table: Dict[str, Dict[float, float]] = {}
+    for rt, campaign in sorted(sweeps.items()):
+        for fault, stats in campaign.by_fault_type().items():
+            table.setdefault(fault, {})[rt] = 100.0 * stats.prevented_rate
+    return table
+
+
+def render_table7(table: Dict[str, Dict[float, float]]) -> str:
+    """Plain-text Table VII."""
+    times = sorted({rt for per_fault in table.values() for rt in per_fault})
+    return format_table(
+        ["Fault Type"] + [f"{t:.1f}s" for t in times],
+        [
+            [fault] + [f"{table[fault].get(t, float('nan')):.1f}%" for t in times]
+            for fault in sorted(table)
+        ],
+        title="Table VII: Prevention rate vs driver reaction time",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Table VIII — hazard prevention rate vs. road friction
+# --------------------------------------------------------------------- #
+
+
+def table8_friction_sweep(
+    sweeps: Dict[str, CampaignResult]
+) -> Dict[str, Dict[str, float]]:
+    """Reproduce Table VIII.
+
+    Args:
+        sweeps: friction label -> campaign result (driver + safety check +
+            AEB-compromised, per the paper's footnote).
+
+    Returns:
+        fault type -> {friction label -> prevention rate in [0, 100]}.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for label, campaign in sweeps.items():
+        for fault, stats in campaign.by_fault_type().items():
+            table.setdefault(fault, {})[label] = 100.0 * stats.prevented_rate
+    return table
+
+
+def render_table8(
+    table: Dict[str, Dict[str, float]], friction_order: Tuple[str, ...] = ("default", "25% off", "50% off", "75% off")
+) -> str:
+    """Plain-text Table VIII."""
+    return format_table(
+        ["Fault Type"] + list(friction_order),
+        [
+            [fault]
+            + [f"{table[fault].get(f, float('nan')):.1f}%" for f in friction_order]
+            for fault in sorted(table)
+        ],
+        title="Table VIII: Hazard prevention rate vs road friction",
+    )

@@ -1,0 +1,36 @@
+"""Source-level fault injection emulating adversarial-patch attacks.
+
+The paper emulates physical patches by rewriting the perception module's
+outputs ("we directly emulate the effect of the patches by injecting attacks
+into the DNN output"), with magnitudes taken from the patch literature:
+
+* :mod:`repro.attacks.patches` — the attack models of Table III: the
+  rear-of-lead-vehicle patch inflating relative distance (38-10 m schedule
+  keyed on true RD), the dirty-road patch biasing desired curvature (3 %
+  deviation), and their combination.
+* :mod:`repro.attacks.fi` — the injection engine: trigger evaluation on
+  *true* state, output rewriting, activation bookkeeping.
+* :mod:`repro.attacks.campaign` — campaign enumeration: 3 fault types x
+  2 initial gaps x 6 scenarios x N repetitions (the paper's 360-run grids).
+"""
+
+from repro.attacks.fi import FaultInjectionEngine, FaultType
+from repro.attacks.patches import (
+    CurvaturePatchAttack,
+    MixedAttack,
+    RelativeDistanceAttack,
+    build_attack,
+)
+from repro.attacks.campaign import CampaignSpec, EpisodeSpec, enumerate_campaign
+
+__all__ = [
+    "FaultInjectionEngine",
+    "FaultType",
+    "CurvaturePatchAttack",
+    "MixedAttack",
+    "RelativeDistanceAttack",
+    "build_attack",
+    "CampaignSpec",
+    "EpisodeSpec",
+    "enumerate_campaign",
+]

@@ -1,0 +1,109 @@
+"""Campaign enumeration.
+
+The paper's fault-injection grid (Section IV-B): *"Each configuration is
+repeated 10 times, resulting in 360 simulations (3 fault types x 2 initial
+positions x 6 driving scenarios)."*  :func:`enumerate_campaign` produces
+exactly that grid (or the fault-free variant for Tables IV/V), with one
+deterministic seed per episode derived from the campaign seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.attacks.fi import FaultType
+from repro.sim.scenarios import INITIAL_GAPS, SCENARIO_IDS
+from repro.sim.weather import FrictionCondition
+from repro.utils.rng import derive_seed
+
+#: The three attacked fault types of Table III.
+ATTACK_FAULT_TYPES = (
+    FaultType.RELATIVE_DISTANCE,
+    FaultType.DESIRED_CURVATURE,
+    FaultType.MIXED,
+)
+
+
+@dataclass(frozen=True)
+class EpisodeSpec:
+    """One simulation to run.
+
+    Attributes:
+        scenario_id: S1-S6.
+        initial_gap: 60 or 230 m.
+        fault_type: the injected fault (or ``FaultType.NONE``).
+        repetition: repetition index within the grid cell.
+        seed: fully-determined episode seed.
+        friction: road condition (None = dry).
+    """
+
+    scenario_id: str
+    initial_gap: float
+    fault_type: FaultType
+    repetition: int
+    seed: int
+    friction: Optional[FrictionCondition] = None
+
+    def label(self) -> str:
+        """Compact human-readable identifier."""
+        mu = "" if self.friction is None else f"/mu={self.friction.mu}"
+        return (
+            f"{self.scenario_id}/gap={self.initial_gap:.0f}"
+            f"/{self.fault_type.value}/rep={self.repetition}{mu}"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A full experimental grid.
+
+    Attributes:
+        fault_types: fault types to sweep.
+        scenario_ids: scenarios to sweep (default S1-S6).
+        initial_gaps: initial bumper gaps to sweep (default 60, 230).
+        repetitions: repetitions per grid cell (paper: 10).
+        seed: campaign master seed.
+        friction: road condition applied to every episode.
+    """
+
+    fault_types: Sequence[FaultType] = field(default_factory=lambda: ATTACK_FAULT_TYPES)
+    scenario_ids: Sequence[str] = SCENARIO_IDS
+    initial_gaps: Sequence[float] = INITIAL_GAPS
+    repetitions: int = 10
+    seed: int = 2025
+    friction: Optional[FrictionCondition] = None
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {self.repetitions}")
+        for sid in self.scenario_ids:
+            if sid not in SCENARIO_IDS:
+                raise ValueError(f"unknown scenario {sid!r}")
+
+
+def enumerate_campaign(spec: CampaignSpec) -> List[EpisodeSpec]:
+    """Expand a :class:`CampaignSpec` into its ordered episode list.
+
+    Episode seeds are derived from ``(campaign seed, scenario, gap, fault,
+    repetition)`` — independent of enumeration order and of which other
+    grid cells exist, so intervention configurations can be compared on
+    *identical* episodes.
+    """
+    episodes: List[EpisodeSpec] = []
+    for fault in spec.fault_types:
+        for gap in spec.initial_gaps:
+            for sid in spec.scenario_ids:
+                for rep in range(spec.repetitions):
+                    seed = derive_seed(spec.seed, sid, f"{gap:.0f}", fault.value, rep)
+                    episodes.append(
+                        EpisodeSpec(
+                            scenario_id=sid,
+                            initial_gap=gap,
+                            fault_type=fault,
+                            repetition=rep,
+                            seed=seed,
+                            friction=spec.friction,
+                        )
+                    )
+    return episodes

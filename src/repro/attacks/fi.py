@@ -1,0 +1,124 @@
+"""The fault-injection engine.
+
+Sits between the perception surrogate and the ADAS control loop (the tap
+point in the paper's Fig. 3) and rewrites perception outputs according to
+the active attack.  Four parameters define every injection, exactly as in
+the paper: (i) target state variable, (ii) error magnitude, (iii) trigger
+condition, (iv) duration — all owned by the attack objects in
+:mod:`repro.attacks.patches`; the engine evaluates triggers against the
+*true* world state and applies the rewrites.
+
+The engine also keeps activation bookkeeping (first-activation times,
+active flags) that the metrics layer uses to compute prevention rates and
+mitigation times relative to attack onset.
+
+A deliberately-preserved physical constraint: the RD attack cannot resurrect
+a lead the camera no longer sees.  Below the perception blind range the lead
+output is already invalid, and the patch (on the lead's tailgate, filling
+the camera frame) cannot restore detection — which is precisely the paper's
+Fig. 6 failure cascade.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.adas.perception import PerceptionOutput
+from repro.attacks.patches import (
+    CurvaturePatchAttack,
+    MixedAttack,
+    RelativeDistanceAttack,
+)
+from repro.sim.sensors import GroundTruthSensor
+
+
+class FaultType(enum.Enum):
+    """Campaign fault types (paper Table III)."""
+
+    NONE = "none"
+    RELATIVE_DISTANCE = "relative_distance"
+    DESIRED_CURVATURE = "desired_curvature"
+    MIXED = "mixed"
+
+
+class FaultInjectionEngine:
+    """Applies one attack object to the perception stream."""
+
+    def __init__(self, attack: object | None, sensor: GroundTruthSensor) -> None:
+        self.sensor = sensor
+        self._rd_attack: Optional[RelativeDistanceAttack] = None
+        self._curv_attack: Optional[CurvaturePatchAttack] = None
+        if isinstance(attack, RelativeDistanceAttack):
+            self._rd_attack = attack
+        elif isinstance(attack, CurvaturePatchAttack):
+            self._curv_attack = attack
+        elif isinstance(attack, MixedAttack):
+            self._rd_attack = attack.rd
+            self._curv_attack = attack.curvature
+            self._linked = True
+            self._curv_trigger_rd = attack.curvature_trigger_rd
+        elif attack is not None:
+            raise TypeError(f"unsupported attack object: {attack!r}")
+        if not hasattr(self, "_linked"):
+            self._linked = False
+            self._curv_trigger_rd = 0.0
+        self._curv_sign = 1.0
+        self._curv_active_until: Optional[float] = None
+        self.rd_active = False
+        self.curvature_active = False
+        self.first_activation: Optional[float] = None
+        self.rd_first_activation: Optional[float] = None
+        self.curvature_first_activation: Optional[float] = None
+
+    @property
+    def enabled(self) -> bool:
+        """True if any attack is configured."""
+        return self._rd_attack is not None or self._curv_attack is not None
+
+    def set_curvature_sign(self, sign: float) -> None:
+        """Set the road-patch pull direction (+1 left, -1 right)."""
+        if sign not in (-1.0, 1.0):
+            raise ValueError(f"sign must be +/-1, got {sign}")
+        self._curv_sign = sign
+
+    def apply(self, perception: PerceptionOutput, time: float) -> PerceptionOutput:
+        """Rewrite one perception frame according to the active attack."""
+        out = perception
+        self.rd_active = False
+        self.curvature_active = False
+
+        if self._rd_attack is not None and out.lead_valid:
+            true_lead = self.sensor.lead()
+            if true_lead is not None:
+                offset = self._rd_attack.offset_for(true_lead.gap)
+                if offset is not None:
+                    out = out.with_lead(rd=out.lead_rd + offset)
+                    self.rd_active = True
+                    if self.rd_first_activation is None:
+                        self.rd_first_activation = time
+                    if self.first_activation is None:
+                        self.first_activation = time
+
+        if self._curv_attack is not None:
+            ego_s = self.sensor.world.ego.s
+            if self._curv_attack.covers(ego_s):
+                self._curv_active_until = time + self._curv_attack.duration
+            if self._linked and self.rd_active:
+                # Mixed attack: once the ego is close enough that the
+                # lead-rear patch dominates the camera frame, it perturbs
+                # the curvature head too (Table III: "RD < 80m or ego
+                # vehicle drives across patch").
+                true_lead = self.sensor.lead()
+                if true_lead is not None and true_lead.gap < self._curv_trigger_rd:
+                    self._curv_active_until = max(self._curv_active_until or 0.0, time)
+            if self._curv_active_until is not None and time <= self._curv_active_until:
+                bias = self._curv_sign * self._curv_attack.curvature_bias
+                out = out.with_curvature(out.desired_curvature + bias)
+                self.curvature_active = True
+                if self.curvature_first_activation is None:
+                    self.curvature_first_activation = time
+                if self.first_activation is None:
+                    self.first_activation = time
+
+        return out

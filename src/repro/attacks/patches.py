@@ -1,0 +1,144 @@
+"""Attack models (the paper's Table III).
+
+==========  ==================  =============================  ============
+type        target variable     attack timing                  attack value
+==========  ==================  =============================  ============
+single      relative distance   RD < 80 m                      +38..10 m
+single      desired curvature   ego drives over road patch     3 % deviation
+mixed       RD & curvature      either condition               same
+==========  ==================  =============================  ============
+
+**Relative-distance attack** — an adversarial patch on the rear of the lead
+vehicle, perceived once the ego is within 80 m.  The injected offsets are
+the paper's: +10 m while the true RD is within 80 m, +15 m within 25 m and
++38 m within 20 m — the perceived gap therefore *stays comfortable* while
+the true gap collapses, so the ACC never brakes.
+
+**Curvature attack** — a dirty-road patch at a fixed arc length; driving
+over it biases the desired-curvature output.  The paper quotes a "3 %
+deviation in curvature output predictions", i.e. 3 % of the model's output
+range (0.03 x 0.13 ~ 0.004 1/m), producing a lateral path offset worth up
+to ~10 degrees of accumulated steering correction.  The bias direction is
+drawn per episode (a patch can pull either way depending on its placement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class RelativeDistanceAttack:
+    """Rear-of-lead patch: inflates perceived RD by a range-keyed offset.
+
+    Attributes:
+        trigger_range: true RD below which the patch is perceived [m].
+        offsets: ``(rd_threshold, offset)`` pairs evaluated most-specific
+            first; the offset of the tightest matching threshold applies.
+    """
+
+    trigger_range: float = 80.0
+    offsets: tuple = ((20.0, 38.0), (25.0, 15.0), (80.0, 10.0))
+
+    def offset_for(self, true_rd: float) -> Optional[float]:
+        """The RD offset injected at ``true_rd``, or None if out of range."""
+        if true_rd >= self.trigger_range:
+            return None
+        for threshold, offset in self.offsets:
+            if true_rd < threshold:
+                return offset
+        return None
+
+
+@dataclass(frozen=True)
+class CurvaturePatchAttack:
+    """Dirty-road patch biasing the desired-curvature output.
+
+    Attributes:
+        patch_s: arc length where the patch starts [m].
+        patch_length: longitudinal extent of the patch area [m].
+        deviation_fraction: bias as a fraction of the curvature output
+            range (paper: 3 %).
+        curvature_range: the model's curvature output range [1/m].
+        duration: seconds the misprediction persists once triggered (the
+            patch stays in view / in the temporal context of the model).
+    """
+
+    patch_s: float = 450.0
+    patch_length: float = 12.0
+    deviation_fraction: float = 0.03
+    curvature_range: float = 0.13
+    duration: float = 9.0
+
+    @property
+    def curvature_bias(self) -> float:
+        """Magnitude of the injected curvature bias [1/m]."""
+        return self.deviation_fraction * self.curvature_range
+
+    def covers(self, ego_s: float) -> bool:
+        """True while the ego front axle is over the patch area."""
+        return self.patch_s <= ego_s <= self.patch_s + self.patch_length
+
+
+@dataclass(frozen=True)
+class MixedAttack:
+    """Both patches deployed (the paper's "Mixed" fault type).
+
+    Table III gives the mixed attack timing as "RD < 80 m **or** ego
+    vehicle drives across patch": the rear-of-lead patch perturbs *both*
+    heads of the end-to-end model once it dominates the camera frame, so
+    the curvature bias additionally activates when the ego is close behind
+    the patched lead (``curvature_trigger_rd``).  This is what makes mixed
+    attacks A2-dominated in the paper ("more A2 accidents occur than A1
+    accidents due to the shorter time needed to trigger accidents in the
+    latter direction") while still being preventable by a driver whose
+    early braking keeps the ego out of the close-range zone.
+
+    Attributes:
+        rd: the relative-distance component.
+        curvature: the desired-curvature component.
+        curvature_trigger_rd: true RD below which the lead-rear patch also
+            perturbs the curvature head [m].
+    """
+
+    rd: RelativeDistanceAttack
+    curvature: CurvaturePatchAttack
+    curvature_trigger_rd: float = 20.0
+
+
+def build_attack(
+    fault_type: str,
+    streams: RngStreams | None = None,
+    patch_s: Optional[float] = None,
+):
+    """Build the attack object for a campaign fault type.
+
+    Args:
+        fault_type: ``"relative_distance"``, ``"desired_curvature"`` or
+            ``"mixed"`` (``None``/``"none"`` returns None).
+        streams: episode RNG (jitters the road-patch placement by a few
+            metres, as physical deployments would vary).
+        patch_s: override the road-patch arc length.
+
+    Raises:
+        ValueError: on an unknown fault type.
+    """
+    if fault_type in (None, "none"):
+        return None
+    jitter = 0.0
+    if streams is not None:
+        jitter = float(streams.get("attack").uniform(-15.0, 15.0))
+    s = (patch_s if patch_s is not None else 450.0) + jitter
+    if fault_type == "relative_distance":
+        return RelativeDistanceAttack()
+    if fault_type == "desired_curvature":
+        return CurvaturePatchAttack(patch_s=s)
+    if fault_type == "mixed":
+        return MixedAttack(
+            rd=RelativeDistanceAttack(),
+            curvature=CurvaturePatchAttack(patch_s=s),
+        )
+    raise ValueError(f"unknown fault type {fault_type!r}")

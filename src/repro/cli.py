@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``episode``   — run one episode and print its measurements.
+* ``table4``    — fault-free driving-performance campaign (Tables IV + V).
+* ``table6``    — the full intervention-comparison campaign.
+* ``table7``    — driver reaction-time sweep.
+* ``table8``    — road-friction sweep.
+* ``fig5`` / ``fig6`` — trace an episode and print ASCII plots (optionally
+  export CSV).
+* ``report``    — run everything and write a markdown report.
+* ``train-ml``  — train (and cache) the LSTM baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.figures import fig5_series, fig6_series
+from repro.analysis.render import ascii_plot
+from repro.analysis.report import ReportConfig, generate_report
+from repro.analysis.tables import (
+    render_table4,
+    render_table5,
+    render_table7,
+    render_table8,
+    table4_driving_performance,
+    table5_lane_distance,
+    table7_reaction_sweep,
+    table8_friction_sweep,
+)
+from repro.attacks.campaign import CampaignSpec, EpisodeSpec
+from repro.attacks.fi import FaultType
+from repro.core.experiment import run_campaign, run_episode
+from repro.safety.aebs import AebsConfig
+from repro.safety.arbitration import InterventionConfig
+from repro.sim.weather import FRICTION_CONDITIONS
+
+
+def _interventions_from_args(args) -> InterventionConfig:
+    return InterventionConfig(
+        driver=args.driver,
+        safety_check=args.check,
+        aeb=AebsConfig(args.aeb),
+        driver_reaction_time=args.reaction_time,
+    )
+
+
+def _add_intervention_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--driver", action="store_true", help="enable the driver model")
+    parser.add_argument("--check", action="store_true", help="enable firmware checks")
+    parser.add_argument(
+        "--aeb",
+        choices=[c.value for c in AebsConfig],
+        default="disabled",
+        help="AEBS configuration",
+    )
+    parser.add_argument(
+        "--reaction-time", type=float, default=None, help="driver reaction time [s]"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ADAS safety-intervention reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ep = sub.add_parser("episode", help="run one episode")
+    ep.add_argument("--scenario", default="S1", help="S1..S6")
+    ep.add_argument("--gap", type=float, default=60.0, help="initial gap [m]")
+    ep.add_argument(
+        "--fault",
+        choices=[f.value for f in FaultType],
+        default="relative_distance",
+    )
+    ep.add_argument("--seed", type=int, default=2025)
+    _add_intervention_flags(ep)
+
+    for name in ("table4", "table6", "table7", "table8"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--reps", type=int, default=2, help="repetitions per cell")
+        p.add_argument("--seed", type=int, default=2025)
+
+    for name in ("fig5", "fig6"):
+        p = sub.add_parser(name, help=f"trace {name}")
+        p.add_argument("--seed", type=int, default=2025)
+        p.add_argument("--csv", default=None, help="write the trace CSV here")
+
+    rep = sub.add_parser("report", help="full markdown report")
+    rep.add_argument("--reps", type=int, default=2)
+    rep.add_argument("--seed", type=int, default=2025)
+    rep.add_argument("--ml", action="store_true", help="include the ML baseline")
+    rep.add_argument("--output", default="report.md")
+
+    ml = sub.add_parser("train-ml", help="train and cache the LSTM baseline")
+    ml.add_argument("--epochs", type=int, default=4)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "episode":
+        spec = EpisodeSpec(
+            scenario_id=args.scenario,
+            initial_gap=args.gap,
+            fault_type=FaultType(args.fault),
+            repetition=0,
+            seed=args.seed,
+        )
+        result = run_episode(spec, _interventions_from_args(args))
+        outcome = result.accident.value if result.accident else "no accident"
+        print(f"outcome:    {outcome}")
+        print(f"duration:   {result.duration:.2f} s ({result.steps} steps)")
+        print(f"min TTC:    {result.min_ttc:.2f} s")
+        print(f"hard brake: {100 * result.hardest_brake_fraction:.1f} %")
+        print(f"prevented:  {result.prevented}")
+        return 0
+
+    if args.command == "table4":
+        campaign = run_campaign(
+            CampaignSpec(
+                fault_types=[FaultType.NONE], repetitions=args.reps, seed=args.seed
+            ),
+            InterventionConfig(),
+        )
+        print(render_table4(table4_driving_performance(campaign)))
+        print()
+        print(render_table5(table5_lane_distance(campaign)))
+        return 0
+
+    if args.command == "table6":
+        from repro.analysis.report import TABLE6_CONFIGS
+        from repro.analysis.tables import render_table6, table6_row
+        from repro.core.metrics import group_by
+
+        spec = CampaignSpec(repetitions=args.reps, seed=args.seed)
+        rows = []
+        for cfg in TABLE6_CONFIGS:
+            print(f"running {cfg.label()} ...", file=sys.stderr)
+            campaign = run_campaign(spec, cfg)
+            for fault, results in sorted(
+                group_by(campaign.results, "fault_type").items()
+            ):
+                rows.append(table6_row(results, cfg.label()))
+        rows.sort(key=lambda r: (r.fault_type, r.intervention))
+        print(render_table6(rows))
+        return 0
+
+    if args.command == "table7":
+        spec = CampaignSpec(repetitions=args.reps, seed=args.seed)
+        sweeps = {}
+        for rt in (1.0, 1.5, 2.0, 2.5, 3.0, 3.5):
+            print(f"reaction time {rt} s ...", file=sys.stderr)
+            sweeps[rt] = run_campaign(
+                spec, InterventionConfig(driver=True, driver_reaction_time=rt)
+            )
+        print(render_table7(table7_reaction_sweep(sweeps)))
+        return 0
+
+    if args.command == "table8":
+        cfg = InterventionConfig(
+            driver=True, safety_check=True, aeb=AebsConfig.COMPROMISED
+        )
+        sweeps = {}
+        for label, condition in FRICTION_CONDITIONS.items():
+            print(f"friction {label} ...", file=sys.stderr)
+            sweeps[label] = run_campaign(
+                CampaignSpec(
+                    fault_types=[
+                        FaultType.RELATIVE_DISTANCE,
+                        FaultType.DESIRED_CURVATURE,
+                    ],
+                    repetitions=args.reps,
+                    seed=args.seed,
+                    friction=condition,
+                ),
+                cfg,
+            )
+        print(render_table8(table8_friction_sweep(sweeps)))
+        return 0
+
+    if args.command == "fig5":
+        series = fig5_series(seed=args.seed)
+        s1 = series["S1"]
+        print(ascii_plot(s1.trace.time, s1.trace.ego_speed, label="S1 ego speed [m/s]"))
+        if args.csv:
+            with open(args.csv, "w") as handle:
+                handle.write(s1.to_csv())
+            print(f"wrote {args.csv}")
+        return 0
+
+    if args.command == "fig6":
+        series = fig6_series(seed=args.seed)
+        print(ascii_plot(series.trace.time, series.trace.ego_speed, label="ego speed [m/s]"))
+        print(ascii_plot(series.trace.time, series.trace.true_gap, label="true RD [m]"))
+        if args.csv:
+            with open(args.csv, "w") as handle:
+                handle.write(series.to_csv())
+            print(f"wrote {args.csv}")
+        return 0
+
+    if args.command == "report":
+        config = ReportConfig(
+            repetitions=args.reps, seed=args.seed, include_ml=args.ml, log=print
+        )
+        text = generate_report(config)
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+        return 0
+
+    if args.command == "train-ml":
+        from repro.ml import TrainerConfig, load_or_train_cached
+
+        baseline = load_or_train_cached(TrainerConfig(epochs=args.epochs), log=print)
+        print(f"final loss: {baseline.final_loss:.5f}")
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

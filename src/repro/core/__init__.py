@@ -1,0 +1,28 @@
+"""The closed-loop evaluation platform (the paper's Fig. 3).
+
+* :mod:`repro.core.hazards` — hazard (H1/H2) and accident (A1/A2)
+  detection.
+* :mod:`repro.core.metrics` — per-episode measurement record and campaign
+  aggregation (prevention rates, mitigation times, trigger rates, hardest
+  brake, min TTC, following distance, lane-line distance).
+* :mod:`repro.core.platform` — the 100 Hz loop wiring simulator,
+  perception, fault injection, ADAS, safety interventions and arbitration.
+* :mod:`repro.core.experiment` — campaign execution and aggregation.
+"""
+
+from repro.core.hazards import AccidentType, HazardMonitor
+from repro.core.metrics import EpisodeResult, aggregate
+from repro.core.platform import EpisodeTrace, SimulationPlatform
+from repro.core.experiment import CampaignResult, run_campaign, run_episode
+
+__all__ = [
+    "AccidentType",
+    "HazardMonitor",
+    "EpisodeResult",
+    "aggregate",
+    "EpisodeTrace",
+    "SimulationPlatform",
+    "CampaignResult",
+    "run_campaign",
+    "run_episode",
+]

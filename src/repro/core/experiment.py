@@ -1,0 +1,97 @@
+"""Campaign execution: run episode grids under intervention configurations.
+
+``run_campaign`` executes every :class:`EpisodeSpec` of a campaign under one
+:class:`InterventionConfig` and wraps the results for aggregation.  Episode
+seeds are derived deterministically (see :mod:`repro.attacks.campaign`), so
+running the *same* campaign under different intervention configurations
+compares them on identical attack episodes — the paper's Table VI setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.attacks.campaign import CampaignSpec, EpisodeSpec, enumerate_campaign
+from repro.core.metrics import AggregateStats, EpisodeResult, aggregate, group_by
+from repro.core.platform import MlController, SimulationPlatform
+from repro.safety.arbitration import InterventionConfig
+
+
+@dataclass
+class CampaignResult:
+    """All episode results of one campaign run.
+
+    Attributes:
+        intervention: the configuration label the campaign ran under.
+        results: one :class:`EpisodeResult` per episode, in order.
+    """
+
+    intervention: str
+    results: List[EpisodeResult]
+
+    def overall(self) -> AggregateStats:
+        """Aggregate over every episode."""
+        return aggregate(self.results)
+
+    def by_scenario(self) -> Dict[str, AggregateStats]:
+        """Aggregate per scenario id (Table IV/V layout)."""
+        return {
+            sid: aggregate(rs) for sid, rs in group_by(self.results, "scenario_id").items()
+        }
+
+    def by_fault_type(self) -> Dict[str, AggregateStats]:
+        """Aggregate per fault type (Table VI layout)."""
+        return {
+            ft: aggregate(rs) for ft, rs in group_by(self.results, "fault_type").items()
+        }
+
+
+def run_episode(
+    spec: EpisodeSpec,
+    interventions: InterventionConfig,
+    ml_controller: Optional[MlController] = None,
+    **platform_kwargs,
+) -> EpisodeResult:
+    """Run a single episode and return its measurements."""
+    platform = SimulationPlatform(
+        spec, interventions, ml_controller=ml_controller, **platform_kwargs
+    )
+    return platform.run()
+
+
+def run_campaign(
+    campaign: CampaignSpec | Sequence[EpisodeSpec],
+    interventions: InterventionConfig,
+    ml_factory: Optional[Callable[[], MlController]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    **platform_kwargs,
+) -> CampaignResult:
+    """Run every episode of ``campaign`` under ``interventions``.
+
+    Args:
+        campaign: a :class:`CampaignSpec` or a pre-enumerated episode list.
+        interventions: the safety configuration under test.
+        ml_factory: builds a fresh ML controller per episode (required when
+            ``interventions.ml``); a factory rather than an instance so
+            controller state can never leak across episodes.
+        progress: optional ``(done, total)`` callback.
+        **platform_kwargs: forwarded to :class:`SimulationPlatform`.
+    """
+    if isinstance(campaign, CampaignSpec):
+        episodes = enumerate_campaign(campaign)
+    else:
+        episodes = list(campaign)
+    if interventions.ml and ml_factory is None:
+        raise ValueError("interventions.ml=True requires ml_factory")
+
+    results: List[EpisodeResult] = []
+    total = len(episodes)
+    for i, spec in enumerate(episodes):
+        controller = ml_factory() if (interventions.ml and ml_factory) else None
+        results.append(
+            run_episode(spec, interventions, ml_controller=controller, **platform_kwargs)
+        )
+        if progress is not None:
+            progress(i + 1, total)
+    return CampaignResult(intervention=interventions.label(), results=results)

@@ -1,0 +1,189 @@
+"""Per-episode measurements and campaign aggregation.
+
+:class:`EpisodeResult` is the flat record one simulation produces; the
+:func:`aggregate` helper computes the quantities the paper's tables report:
+
+* accident split (A1 % / A2 %) and prevention rate (Table VI, VII, VIII);
+* average mitigation time — the mean *duration* an intervention was
+  actively applied, over the episodes where it triggered (Table VI);
+* trigger rate — the fraction of episodes where an intervention fired
+  (Table VI);
+* following distance, hardest-brake value, min TTC and min ``t_fcw``
+  (Table IV);
+* minimum distance to lane lines (Table V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.hazards import AccidentType
+
+
+@dataclass
+class InterventionActivity:
+    """Activation bookkeeping for one intervention channel."""
+
+    triggered: bool = False
+    first_time: Optional[float] = None
+    active_duration: float = 0.0
+    activation_count: int = 0
+    _prev_active: bool = False
+
+    def record(self, active: bool, time: float, dt: float) -> None:
+        """Accumulate one step of (in)activity."""
+        if active:
+            if not self.triggered:
+                self.triggered = True
+                self.first_time = time
+            if not self._prev_active:
+                self.activation_count += 1
+            self.active_duration += dt
+        self._prev_active = active
+
+    @property
+    def mean_activation_duration(self) -> float:
+        """Average length of one activation [s] (0 when never active)."""
+        if self.activation_count == 0:
+            return 0.0
+        return self.active_duration / self.activation_count
+
+
+@dataclass
+class EpisodeResult:
+    """Everything measured in one simulation.
+
+    Attributes mirror the paper's reported quantities; see module
+    docstring.  ``prevented`` is only meaningful for attack episodes:
+    True when the injected fault did not end in an accident.
+    """
+
+    scenario_id: str = ""
+    initial_gap: float = 0.0
+    fault_type: str = "none"
+    seed: int = 0
+    intervention: str = "none"
+
+    accident: Optional[AccidentType] = None
+    accident_time: Optional[float] = None
+    h1: bool = False
+    h2: bool = False
+
+    steps: int = 0
+    duration: float = 0.0
+
+    min_ttc: float = float("inf")
+    min_tfcw: float = float("inf")
+    following_distance: Optional[float] = None
+    hardest_brake_fraction: float = 0.0
+    min_lane_distance: float = float("inf")
+    max_speed: float = 0.0
+
+    attack_first_activation: Optional[float] = None
+    attack_activated: bool = False
+
+    aeb: InterventionActivity = field(default_factory=InterventionActivity)
+    driver_brake: InterventionActivity = field(default_factory=InterventionActivity)
+    driver_steer: InterventionActivity = field(default_factory=InterventionActivity)
+    ml_recovery: InterventionActivity = field(default_factory=InterventionActivity)
+    fcw: InterventionActivity = field(default_factory=InterventionActivity)
+
+    @property
+    def prevented(self) -> bool:
+        """Attack ran and no accident resulted."""
+        return self.attack_activated and self.accident is None
+
+    @property
+    def crashed(self) -> bool:
+        """An accident (A1 or A2) occurred."""
+        return self.accident is not None
+
+
+@dataclass(frozen=True)
+class AggregateStats:
+    """Campaign-level statistics over a set of :class:`EpisodeResult`s.
+
+    Rates are fractions in [0, 1]; times in seconds.  ``None`` marks
+    undefined aggregates (e.g. mitigation time when never triggered).
+    """
+
+    episodes: int
+    a1_rate: float
+    a2_rate: float
+    accident_rate: float
+    prevented_rate: float
+    hazard_rate: float
+    aeb_trigger_rate: float
+    driver_brake_trigger_rate: float
+    driver_steer_trigger_rate: float
+    ml_trigger_rate: float
+    aeb_mitigation_time: Optional[float]
+    driver_brake_mitigation_time: Optional[float]
+    driver_steer_mitigation_time: Optional[float]
+    mean_following_distance: Optional[float]
+    mean_hardest_brake: float
+    min_ttc: float
+    min_tfcw: float
+    min_lane_distance: float
+
+
+def aggregate(results: Sequence[EpisodeResult]) -> AggregateStats:
+    """Aggregate a homogeneous set of episode results.
+
+    Raises:
+        ValueError: on an empty result set.
+    """
+    if not results:
+        raise ValueError("cannot aggregate an empty result set")
+    n = len(results)
+    a1 = sum(1 for r in results if r.accident is AccidentType.A1)
+    a2 = sum(1 for r in results if r.accident is AccidentType.A2)
+    attacked = [r for r in results if r.attack_activated]
+    prevented = sum(1 for r in attacked if r.prevented)
+    follow = [r.following_distance for r in results if r.following_distance is not None]
+
+    def trigger_rate(key: str) -> float:
+        return sum(1 for r in results if getattr(r, key).triggered) / n
+
+    def mitigation_time(key: str) -> Optional[float]:
+        # Mean duration of one intervention activation, over the episodes
+        # where the mechanism fired (the paper's "Avg. Mitigation Time").
+        durations = [
+            getattr(r, key).mean_activation_duration
+            for r in results
+            if getattr(r, key).triggered
+        ]
+        return mean(durations) if durations else None
+
+    return AggregateStats(
+        episodes=n,
+        a1_rate=a1 / n,
+        a2_rate=a2 / n,
+        accident_rate=(a1 + a2) / n,
+        prevented_rate=(prevented / len(attacked)) if attacked else 0.0,
+        hazard_rate=sum(1 for r in results if r.h1 or r.h2) / n,
+        aeb_trigger_rate=trigger_rate("aeb"),
+        driver_brake_trigger_rate=trigger_rate("driver_brake"),
+        driver_steer_trigger_rate=trigger_rate("driver_steer"),
+        ml_trigger_rate=trigger_rate("ml_recovery"),
+        aeb_mitigation_time=mitigation_time("aeb"),
+        driver_brake_mitigation_time=mitigation_time("driver_brake"),
+        driver_steer_mitigation_time=mitigation_time("driver_steer"),
+        mean_following_distance=mean(follow) if follow else None,
+        mean_hardest_brake=mean(r.hardest_brake_fraction for r in results),
+        min_ttc=min(r.min_ttc for r in results),
+        min_tfcw=min(r.min_tfcw for r in results),
+        min_lane_distance=min(r.min_lane_distance for r in results),
+    )
+
+
+def group_by(
+    results: Sequence[EpisodeResult], key: str
+) -> Dict[str, List[EpisodeResult]]:
+    """Group results by an :class:`EpisodeResult` attribute name."""
+    groups: Dict[str, List[EpisodeResult]] = {}
+    for r in results:
+        groups.setdefault(str(getattr(r, key)), []).append(r)
+    return groups

@@ -1,0 +1,35 @@
+"""ML-based mitigation baseline (the paper's Section IV-D and Algorithm 1).
+
+A two-layer LSTM (best configuration 128-64, as in the paper) trained on
+fault-free traces predicts the expected gas/steering outputs from the ego
+speed, relative distance, lane-line positions and 20-cycle actuation
+history.  A CUSUM detector on the discrepancy between the model's
+predictions and the OpenPilot outputs activates recovery mode, during
+which the model's outputs drive the actuators.
+
+Everything is NumPy — no deep-learning framework is available offline, and
+none is needed at this scale.
+
+* :mod:`repro.ml.lstm` — LSTM layers, forward + BPTT.
+* :mod:`repro.ml.optim` — Adam.
+* :mod:`repro.ml.dataset` — trace collection and 20-cycle windowing.
+* :mod:`repro.ml.trainer` — training loop and the hidden-size grid the
+  paper explored (256-128 ... 64-32).
+* :mod:`repro.ml.mitigation` — Algorithm 1 (CUSUM activation, recovery).
+"""
+
+from repro.ml.lstm import LstmNetwork
+from repro.ml.dataset import TraceDataset, collect_fault_free_traces
+from repro.ml.trainer import TrainerConfig, train_baseline, load_or_train_cached
+from repro.ml.mitigation import MitigationController, MitigationParams
+
+__all__ = [
+    "LstmNetwork",
+    "TraceDataset",
+    "collect_fault_free_traces",
+    "TrainerConfig",
+    "train_baseline",
+    "load_or_train_cached",
+    "MitigationController",
+    "MitigationParams",
+]

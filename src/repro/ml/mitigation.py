@@ -1,0 +1,121 @@
+"""Algorithm 1 — CUSUM-activated ML hazard mitigation.
+
+Per control cycle the trained LSTM predicts the expected (gas, steering)
+from *fault-free* inputs (the paper assumes an independent/redundant
+sensor); the discrepancy against the OpenPilot output feeds a CUSUM
+accumulator:
+
+    S(t+1) = max(0, S(t) + delta - b(t))         # line 9
+
+Recovery mode activates when ``S > tau`` (line 10) and the ML output
+drives the actuators until the discrepancy falls back within ``b`` (lines
+12-16), at which point S resets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.adas.controlsd import AdasCommand
+from repro.ml.dataset import FEATURE_NAMES, WINDOW
+from repro.ml.trainer import TrainedBaseline
+from repro.utils.mathx import clamp
+
+
+@dataclass(frozen=True)
+class MitigationParams:
+    """Algorithm 1 constants.
+
+    Attributes:
+        tau: CUSUM activation threshold.
+        bias: the ``b(t) > 0`` drain keeping S at zero nominally.
+        accel_weight: weight of the accel discrepancy in delta.
+        steer_weight: weight of the steering discrepancy in delta
+            (steering lives on a much smaller numeric scale).
+        max_accel / min_accel: output clamps [m/s^2].
+        max_steer: output clamp [rad].
+    """
+
+    tau: float = 3.0
+    bias: float = 0.35
+    accel_weight: float = 1.0
+    steer_weight: float = 8.0
+    max_accel: float = 2.0
+    min_accel: float = -6.0
+    max_steer: float = 0.45
+
+
+class MitigationController:
+    """The platform-facing ML layer (implements ``MlController``).
+
+    Args:
+        baseline: a trained LSTM baseline (weights + scalers).
+        params: Algorithm 1 constants.
+    """
+
+    def __init__(
+        self, baseline: TrainedBaseline, params: MitigationParams | None = None
+    ) -> None:
+        self.baseline = baseline
+        self.params = params or MitigationParams()
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear the window buffer and the CUSUM state."""
+        self._window: List[List[float]] = []
+        self._s = 0.0
+        self.recovery = False
+        self.activations = 0
+
+    @property
+    def cusum(self) -> float:
+        """Current accumulator value ``S(t)``."""
+        return self._s
+
+    def step(
+        self, features: List[float], y_op: AdasCommand, dt: float
+    ) -> Tuple[AdasCommand, bool]:
+        """One control cycle of Algorithm 1.
+
+        Args:
+            features: fault-free per-step features (see FEATURE_NAMES).
+            y_op: the OpenPilot output this cycle.
+            dt: control period [s] (unused; kept for interface symmetry).
+
+        Returns:
+            ``(ml_command, recovery_mode)``.
+        """
+        if len(features) != len(FEATURE_NAMES):
+            raise ValueError(
+                f"expected {len(FEATURE_NAMES)} features, got {len(features)}"
+            )
+        p = self.params
+        self._window.append(list(features))
+        if len(self._window) > WINDOW:
+            self._window.pop(0)
+        if len(self._window) < WINDOW:
+            # Not enough history yet: mirror the OP output, no detection.
+            return y_op, False
+
+        x = np.asarray(self._window, dtype=np.float64)
+        accel_ml, steer_ml = self.baseline.predict(x)
+        accel_ml = clamp(float(accel_ml), p.min_accel, p.max_accel)
+        steer_ml = clamp(float(steer_ml), -p.max_steer, p.max_steer)
+        ml_cmd = AdasCommand(accel=accel_ml, steer=steer_ml)
+
+        delta = p.accel_weight * abs(accel_ml - y_op.accel) + p.steer_weight * abs(
+            steer_ml - y_op.steer
+        )
+        self._s = max(0.0, self._s + delta - p.bias)
+
+        if not self.recovery and self._s > p.tau:
+            self.recovery = True
+            self.activations += 1
+        elif self.recovery and delta <= p.bias:
+            self.recovery = False
+            self._s = 0.0  # line 16: reset on exit
+
+        return ml_cmd, self.recovery

@@ -1,0 +1,60 @@
+"""Adam optimiser over a flat list of parameter arrays."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class Adam:
+    """Standard Adam with bias correction and gradient clipping.
+
+    Args:
+        params: the arrays to update (shared references from the model).
+        lr: learning rate.
+        beta1, beta2: moment decay rates.
+        eps: numerical floor.
+        clip: global-norm gradient clip (None disables).
+    """
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        clip: float | None = 5.0,
+    ) -> None:
+        if lr <= 0.0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.clip = clip
+        self._m: List[np.ndarray] = [np.zeros_like(p) for p in self.params]
+        self._v: List[np.ndarray] = [np.zeros_like(p) for p in self.params]
+        self._t = 0
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        """Apply one update from ``grads`` (aligned with ``params``)."""
+        if len(grads) != len(self.params):
+            raise ValueError("grads/params length mismatch")
+        if self.clip is not None:
+            total = np.sqrt(sum(float(np.sum(g * g)) for g in grads))
+            if total > self.clip:
+                scale = self.clip / (total + 1e-12)
+                grads = [g * scale for g in grads]
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

@@ -1,0 +1,40 @@
+"""Layered safety interventions — the paper's study object.
+
+Three intervention levels (Section III-C), plus the arbitration logic that
+resolves conflicts between them:
+
+* :mod:`repro.safety.aebs` — basic level: time-to-collision phase-controlled
+  AEBS with FCW (Eqs. 1-4, Table I), in the paper's three configurations
+  (disabled / compromised input / independent sensor).
+* :mod:`repro.safety.panda` — application level: PANDA-style firmware range
+  checking of control commands (ISO 22179 acceleration envelope).
+* :mod:`repro.safety.driver` — human level: rule-based driver reaction
+  simulator (Table II) with configurable reaction time.
+* :mod:`repro.safety.ldw` — lane-departure warning feeding the driver model.
+* :mod:`repro.safety.arbitration` — fixed-priority conflict resolution
+  (AEB highest, safety checking lowest), including the AEB-overrides-driver
+  behaviour behind the paper's Observation 4.
+"""
+
+from repro.safety.aebs import Aebs, AebsConfig, AebsParams, AebsState
+from repro.safety.panda import SafetyChecker, SafetyCheckerParams
+from repro.safety.driver import DriverAction, DriverModel, DriverParams
+from repro.safety.ldw import LaneDepartureWarning, LdwParams
+from repro.safety.arbitration import Arbitrator, FinalCommand, InterventionConfig
+
+__all__ = [
+    "Aebs",
+    "AebsConfig",
+    "AebsParams",
+    "AebsState",
+    "SafetyChecker",
+    "SafetyCheckerParams",
+    "DriverAction",
+    "DriverModel",
+    "DriverParams",
+    "LaneDepartureWarning",
+    "LdwParams",
+    "Arbitrator",
+    "FinalCommand",
+    "InterventionConfig",
+]

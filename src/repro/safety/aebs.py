@@ -1,0 +1,228 @@
+"""AEBS + FCW: time-to-collision phase-controlled emergency braking.
+
+Implements the paper's Section III-C design exactly:
+
+* ``ttc = RD / RS``                                      (Eq. 1)
+* ``T_stop = V_ego / a_driver``                          (Eq. 2)
+* ``t_fcw = T_react + T_stop``                           (Eq. 3)
+* phase thresholds ``t_pb1 = V/3.8``, ``t_pb2 = V/5.8``,
+  ``t_fb = V/9.8``                                       (Eq. 4)
+
+with the action table (the paper's Table I):
+
+    ==================  =================
+    TTC interval        action
+    ==================  =================
+    [t_fcw, t_pb1)      FCW alert
+    [t_pb1, t_pb2)      90 % brake
+    [t_pb2, t_fb)       95 % brake
+    [t_fb, 0)           100 % brake
+    ==================  =================
+
+Three configurations (Section III-C, "three distinct configurations"):
+
+* :attr:`AebsConfig.DISABLED` — AEBS absent (FCW is still computed, from
+  perceived data, because Table IV reports ``min t_fcw`` even in
+  no-intervention runs and the driver model consumes FCW alerts).
+* :attr:`AebsConfig.COMPROMISED` — AEBS consumes the *perceived* (post
+  fault-injection) lead state, modelling cars whose AEB shares the ADAS
+  camera pipeline.
+* :attr:`AebsConfig.INDEPENDENT` — AEBS consumes ground truth from an
+  independent, secure sensor.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.utils.units import G
+
+
+class AebsConfig(enum.Enum):
+    """AEBS input-source configuration (paper Section III-C)."""
+
+    DISABLED = "disabled"
+    COMPROMISED = "compromised"
+    INDEPENDENT = "independent"
+
+
+@dataclass(frozen=True)
+class AebsParams:
+    """Constants of the AEBS design.
+
+    Attributes:
+        driver_decel: assumed human braking deceleration ``a_driver`` in
+            Eq. 2 [m/s^2].  4.9 (half g) reproduces the paper's reported
+            ``min t_fcw`` values (e.g. S1: 2.5 + 9.6/4.9 = 4.46 s).
+        reaction_time: assumed human reaction time ``T_react`` [s].
+        pb1_divisor, pb2_divisor, fb_divisor: Eq. 4 speed divisors.
+        brake_fractions: brake level per phase (fraction of full braking).
+        min_speed: AEBS is inhibited below this ego speed [m/s].
+        min_closing: minimum closing speed to consider a threat [m/s].
+        release_margin: a latched phase releases once the TTC has
+            recovered above ``release_margin x t_pb1`` (UN R152 allows the
+            manoeuvre to abort when the collision risk clears), *except*
+            within ``hold_gap`` of the obstacle.
+        release_sustain: the recovery must persist this long before the
+            manoeuvre aborts [s] (momentary TTC blips — e.g. a compromised
+            ACC re-accelerating between braking phases — do not release).
+        standstill_hold: seconds the brakes are held after an emergency
+            stop completes before handing control back.
+        hold_gap: inside this distance the manoeuvre never aborts and a
+            standstill is held while the obstacle remains [m] — an AEBS
+            does not hand control back while bumper-to-bumper.
+    """
+
+    driver_decel: float = 4.9
+    reaction_time: float = 2.5
+    pb1_divisor: float = 3.8
+    pb2_divisor: float = 5.8
+    fb_divisor: float = 9.8
+    brake_fractions: tuple = (0.90, 0.95, 1.00)
+    min_speed: float = 0.5
+    min_closing: float = 0.3
+    release_margin: float = 1.3
+    release_sustain: float = 1.0
+    standstill_hold: float = 1.5
+    hold_gap: float = 4.0
+
+
+@dataclass(frozen=True)
+class AebsState:
+    """Output of one AEBS evaluation step.
+
+    Attributes:
+        fcw: True while the forward-collision warning is active.
+        phase: 0 (inactive), 1 (90 %), 2 (95 %), 3 (full braking).
+        brake_accel: braking command [m/s^2] (negative; 0 when inactive).
+        ttc: the TTC used for the decision [s] (``inf`` when no threat).
+    """
+
+    fcw: bool
+    phase: int
+    brake_accel: float
+    ttc: float
+
+
+class Aebs:
+    """Stateful AEBS evaluated once per control step.
+
+    A latched phase escalates while TTC keeps collapsing and releases when
+    the risk clears (TTC recovered with hysteresis, threat gone) — unless
+    the ego is within ``hold_gap`` of the obstacle, where braking continues
+    to (and holds at) standstill.  The close-range hold is what lets an
+    independent-sensor AEBS prevent 100 % of RD-attack collisions: the
+    still-compromised ACC keeps trying to creep into the lead after every
+    release, and the final approach always ends inside ``hold_gap``.
+    """
+
+    def __init__(self, config: AebsConfig, params: AebsParams | None = None) -> None:
+        self.config = config
+        self.params = params or AebsParams()
+        self._phase = 0
+        self._hold_until: float | None = None
+        self._recovered_since: float | None = None
+        self._time = 0.0
+
+    def reset(self) -> None:
+        """Release any latched braking phase (start of an episode)."""
+        self._phase = 0
+        self._hold_until = None
+        self._recovered_since = None
+        self._time = 0.0
+
+    def thresholds(self, ego_speed: float) -> tuple:
+        """``(t_fcw, t_pb1, t_pb2, t_fb)`` at ``ego_speed`` (Eqs. 2-4)."""
+        p = self.params
+        t_stop = ego_speed / p.driver_decel
+        t_fcw = p.reaction_time + t_stop
+        return (
+            t_fcw,
+            ego_speed / p.pb1_divisor,
+            ego_speed / p.pb2_divisor,
+            ego_speed / p.fb_divisor,
+        )
+
+    def update(
+        self,
+        ego_speed: float,
+        lead_valid: bool,
+        rd: float,
+        rs: float,
+        dt: float = 0.01,
+    ) -> AebsState:
+        """Evaluate the AEBS for one step.
+
+        Args:
+            ego_speed: ego vehicle speed ``V_ego`` [m/s].
+            lead_valid: whether the configured input source sees a lead.
+            rd: relative distance from the configured source [m].
+            rs: relative (closing) speed from the configured source [m/s].
+            dt: control period [s].
+        """
+        p = self.params
+        self._time += dt
+        threat = lead_valid and rs >= p.min_closing and rd > 0.0
+        ttc = rd / rs if threat else math.inf
+        t_fcw, t_pb1, t_pb2, t_fb = self.thresholds(ego_speed)
+        fcw = ttc < t_fcw
+
+        if self.config is AebsConfig.DISABLED:
+            # FCW stays available (it is a warning, not an actuator).
+            return AebsState(fcw=fcw, phase=0, brake_accel=0.0, ttc=ttc)
+
+        # --- Latched manoeuvre --------------------------------------------
+        if self._phase > 0:
+            obstacle_close = lead_valid and 0.0 <= rd < p.hold_gap
+            if ego_speed < 0.1:
+                if obstacle_close:
+                    # Never hand control back while bumper-to-bumper with
+                    # a (stopped) obstacle: keep holding.
+                    self._hold_until = None
+                elif self._hold_until is None:
+                    self._hold_until = self._time + p.standstill_hold
+                elif self._time >= self._hold_until:
+                    self._phase = 0
+                    self._hold_until = None
+                    return AebsState(fcw=fcw, phase=0, brake_accel=0.0, ttc=ttc)
+            elif not obstacle_close and ttc > t_pb1 * p.release_margin:
+                # Risk cleared: abort only after a sustained recovery
+                # (UN R152 permits the manoeuvre to abort).
+                if self._recovered_since is None:
+                    self._recovered_since = self._time
+                elif self._time - self._recovered_since >= p.release_sustain:
+                    self._phase = 0
+                    self._recovered_since = None
+                    return AebsState(fcw=fcw, phase=0, brake_accel=0.0, ttc=ttc)
+            else:
+                self._recovered_since = None
+            # Escalate while the threat keeps growing.
+            self._phase = max(self._phase, _phase_for(ttc, t_pb1, t_pb2, t_fb))
+            fraction = p.brake_fractions[self._phase - 1]
+            return AebsState(
+                fcw=fcw, phase=self._phase, brake_accel=-fraction * G, ttc=ttc
+            )
+
+        # --- Engagement ----------------------------------------------------
+        if ego_speed < p.min_speed or not threat:
+            return AebsState(fcw=fcw, phase=0, brake_accel=0.0, ttc=ttc)
+        self._phase = _phase_for(ttc, t_pb1, t_pb2, t_fb)
+        if self._phase == 0:
+            return AebsState(fcw=fcw, phase=0, brake_accel=0.0, ttc=ttc)
+        fraction = p.brake_fractions[self._phase - 1]
+        return AebsState(
+            fcw=fcw, phase=self._phase, brake_accel=-fraction * G, ttc=ttc
+        )
+
+
+def _phase_for(ttc: float, t_pb1: float, t_pb2: float, t_fb: float) -> int:
+    """Map a TTC onto the Table I braking phase (0 = no braking)."""
+    if ttc < t_fb:
+        return 3
+    if ttc < t_pb2:
+        return 2
+    if ttc < t_pb1:
+        return 1
+    return 0

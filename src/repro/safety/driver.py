@@ -1,0 +1,376 @@
+"""Human-driver reaction simulator (the paper's Table II).
+
+The driver monitors the *physical* world (not the perception outputs — a
+human looks out of the windshield) plus the FCW/LDW alarms, and intervenes
+after a reaction time:
+
+=============================  =====================================
+activation condition            reaction (after the reaction time)
+=============================  =====================================
+FCW alert                       emergency brake, zero throttle,
+unsafe cruise speed             **no change in steering angle**
+unexpected acceleration
+unsafe following distance
+other vehicle cutting in
+-----------------------------  -------------------------------------
+lane-departure warning          steer back to the lane centre
+unsafe distance to lane lines
+=============================  =====================================
+
+Defaults follow the paper: 2.5 s mean reaction time (government guidance),
+emergency braking per the driver brake-response study it cites (a fast ramp
+to a hard, sustained deceleration), 0.5 m lane-line distance threshold, 10 %
+speed-limit margin, one-vehicle-length following-distance alarm.
+
+Per-episode reaction-time jitter is drawn from the episode RNG so that
+repetitions vary realistically; Table VII's sweep sets ``reaction_time``
+explicitly (1.0-3.5 s).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.mathx import clamp
+from repro.utils.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class DriverView:
+    """Everything the driver can observe in one step.
+
+    Attributes:
+        time: simulation time [s].
+        ego_speed: ego speed [m/s].
+        ego_accel: achieved ego acceleration [m/s^2].
+        gap: true bumper gap to the in-lane lead [m], or None.
+        closing: true closing speed [m/s] (positive when approaching).
+        cut_in: an adjacent-lane vehicle is merging into the ego lane.
+        dist_right: body-side distance to the right lane line [m].
+        dist_left: body-side distance to the left lane line [m].
+        lateral_offset: ego centre offset from the lane centre [m].
+        rel_heading: ego heading relative to the road tangent [rad].
+        fcw: forward-collision warning currently active.
+        ldw: lane-departure warning currently active.
+        aeb_active: the AEBS is currently braking.  A human driver defers
+            to an automated emergency manoeuvre in progress ("the car is
+            handling it") — and the AEB overrides their inputs anyway
+            (the paper's priority hierarchy) — so no new reactions are
+            initiated while this is set.
+    """
+
+    time: float
+    ego_speed: float
+    ego_accel: float
+    gap: Optional[float]
+    closing: float
+    cut_in: bool
+    dist_right: float
+    dist_left: float
+    lateral_offset: float
+    rel_heading: float
+    fcw: bool
+    ldw: bool
+    aeb_active: bool = False
+
+
+@dataclass(frozen=True)
+class DriverParams:
+    """Driver-model constants (Table II plus brake-profile literature).
+
+    Attributes:
+        reaction_time: mean reaction time [s] (paper default 2.5 s).
+        reaction_jitter: uniform per-episode jitter half-width [s].
+        speed_limit: posted limit [m/s]; unsafe above ``1.1 x`` this.
+        unsafe_gap: following distance alarm threshold [m]
+            (one vehicle length).
+        unexpected_accel: acceleration felt as "unexpected" while close
+            behind a lead [m/s^2].
+        unexpected_accel_gap: gap below which acceleration is unexpected [m].
+        visual_ttc: the driver's own looming-threat horizon [s]: a human
+            watching the road brakes when the *visible* time-to-collision
+            drops below this, independent of (possibly compromised)
+            electronic warnings.
+        lane_distance_threshold: steer-back trigger distance to a lane
+            line [m] (paper: 0.5 m).
+        brake_peak: emergency-brake peak deceleration [m/s^2].
+        brake_jerk: brake ramp rate [m/s^3].
+        steer_offset_gain: corrective curvature per metre of offset.
+        steer_heading_gain: corrective curvature per radian of heading.
+        wheelbase: for curvature-to-angle conversion [m].
+        cancel_window: pending reactions are cancelled if the trigger has
+            been clear for this long [s].
+        release_hold: hazard must stay clear this long to end an active
+            intervention [s].
+        alerted_factor: once the driver has executed one emergency
+            reaction they stay alert, and subsequent reactions use
+            ``alerted_factor x`` the reaction time (brake-response studies
+            report markedly faster reactions for alerted drivers).
+        alerted_floor: lower bound of the alerted reaction time [s].
+        steer_hold_min: minimum duration of a steering takeover [s] — a
+            driver who grabbed the wheel does not hand control back the
+            instant the car is centred while it may still be pulling.
+        steer_release_hold: the car must stay centred and trigger-free
+            this long before the takeover ends [s].
+    """
+
+    reaction_time: float = 2.5
+    reaction_jitter: float = 0.25
+    speed_limit: float = 22.352  # 50 mph
+    unsafe_gap: float = 4.7
+    unexpected_accel: float = 1.2
+    unexpected_accel_gap: float = 18.0
+    visual_ttc: float = 4.0
+    lane_distance_threshold: float = 0.5
+    brake_peak: float = 6.5
+    brake_jerk: float = 8.0
+    steer_offset_gain: float = 0.004
+    steer_heading_gain: float = 0.18
+    wheelbase: float = 2.7
+    cancel_window: float = 0.6
+    release_hold: float = 1.0
+    alerted_factor: float = 0.6
+    alerted_floor: float = 1.0
+    steer_hold_min: float = 4.0
+    steer_release_hold: float = 1.5
+
+
+@dataclass(frozen=True)
+class DriverAction:
+    """The driver's actuation for one step.
+
+    Attributes:
+        brake_active: emergency braking in progress.
+        brake_accel: braking command [m/s^2] (negative; 0 when inactive).
+        steer_active: corrective steering in progress.
+        steer_angle: road-wheel steering command [rad] (valid when
+            ``steer_active``).
+        brake_reason: trigger that scheduled the brake (for metrics).
+        steer_reason: trigger that scheduled the steering correction.
+    """
+
+    brake_active: bool
+    brake_accel: float
+    steer_active: bool
+    steer_angle: float
+    brake_reason: Optional[str] = None
+    steer_reason: Optional[str] = None
+
+
+class DriverModel:
+    """Stateful reaction simulator ticked once per control step."""
+
+    def __init__(
+        self,
+        params: DriverParams | None = None,
+        streams: RngStreams | None = None,
+    ) -> None:
+        self.params = params or DriverParams()
+        if streams is not None:
+            jitter = float(
+                streams.get("driver").uniform(
+                    -self.params.reaction_jitter, self.params.reaction_jitter
+                )
+            )
+        else:
+            jitter = 0.0
+        self.effective_reaction_time = max(0.1, self.params.reaction_time + jitter)
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear all pending/active interventions."""
+        self._pending_brake_at: Optional[float] = None
+        self._pending_brake_reason: Optional[str] = None
+        self._brake_active = False
+        self._brake_reason: Optional[str] = None
+        self._brake_decel = 0.0
+        self._brake_clear_since: Optional[float] = None
+        self._brake_trigger_last_seen: Optional[float] = None
+
+        self._pending_steer_at: Optional[float] = None
+        self._pending_steer_reason: Optional[str] = None
+        self._steer_active = False
+        self._steer_reason: Optional[str] = None
+        self._steer_clear_since: Optional[float] = None
+        self._steer_trigger_last_seen: Optional[float] = None
+        self._steer_started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Trigger evaluation (Table II activation conditions)
+    # ------------------------------------------------------------------ #
+
+    def _brake_trigger(self, view: DriverView) -> Optional[str]:
+        p = self.params
+        if view.fcw:
+            return "fcw"
+        if (
+            view.gap is not None
+            and view.closing > 0.3
+            and view.gap / view.closing < p.visual_ttc
+        ):
+            return "visual_ttc"
+        if view.ego_speed > 1.1 * p.speed_limit:
+            return "overspeed"
+        if view.gap is not None and view.gap < p.unsafe_gap and view.closing > -0.5:
+            return "unsafe_distance"
+        if (
+            view.gap is not None
+            and view.gap < p.unexpected_accel_gap
+            and view.closing > 0.0
+            and view.ego_accel > p.unexpected_accel
+        ):
+            return "unexpected_accel"
+        if view.cut_in:
+            return "cut_in"
+        return None
+
+    def _steer_trigger(self, view: DriverView) -> Optional[str]:
+        p = self.params
+        if view.ldw:
+            return "ldw"
+        if min(view.dist_right, view.dist_left) < p.lane_distance_threshold:
+            return "lane_distance"
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Main tick
+    # ------------------------------------------------------------------ #
+
+    def update(self, view: DriverView) -> DriverAction:
+        """Advance the driver one step and return the actuation."""
+        self._update_brake(view)
+        self._update_steer(view)
+        steer_angle = self._steer_command(view) if self._steer_active else 0.0
+        return DriverAction(
+            brake_active=self._brake_active,
+            brake_accel=-self._brake_decel if self._brake_active else 0.0,
+            steer_active=self._steer_active,
+            steer_angle=steer_angle,
+            brake_reason=self._brake_reason,
+            steer_reason=self._steer_reason,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Braking state machine
+    # ------------------------------------------------------------------ #
+
+    def _update_brake(self, view: DriverView) -> None:
+        p = self.params
+        trigger = self._brake_trigger(view)
+        now = view.time
+        if trigger is not None:
+            self._brake_trigger_last_seen = now
+
+        if self._brake_active:
+            dt_step = 0.01
+            self._brake_decel = min(
+                p.brake_peak, self._brake_decel + p.brake_jerk * dt_step
+            )
+            # A driver who slammed the brakes over a forward threat keeps
+            # braking until the situation is *visibly* safe: no active
+            # trigger, no FCW, and the true gap ahead comfortably open.
+            # (Releasing just because the — possibly compromised — ADAS
+            # stopped warning would not be human behaviour.)
+            gap_safe = view.gap is None or view.gap > max(
+                15.0, 1.0 * view.ego_speed
+            )
+            hazard_clear = trigger is None and not view.fcw and gap_safe
+            if hazard_clear:
+                if self._brake_clear_since is None:
+                    self._brake_clear_since = now
+                elif now - self._brake_clear_since > p.release_hold:
+                    self._brake_active = False
+                    self._brake_decel = 0.0
+                    self._brake_clear_since = None
+            else:
+                self._brake_clear_since = None
+            return
+
+        if self._pending_brake_at is None:
+            if trigger is not None and not view.aeb_active:
+                self._pending_brake_at = now + self.effective_reaction_time
+                self._pending_brake_reason = trigger
+            return
+
+        # A reaction is pending: cancel it if the hazard evaporated well
+        # before the driver's foot reached the pedal.
+        last_seen = self._brake_trigger_last_seen
+        if last_seen is not None and now - last_seen > p.cancel_window:
+            self._pending_brake_at = None
+            self._pending_brake_reason = None
+            return
+        if now >= self._pending_brake_at and not view.aeb_active:
+            self._brake_active = True
+            self._brake_reason = self._pending_brake_reason
+            self._brake_decel = 0.0
+            self._pending_brake_at = None
+            self._brake_clear_since = None
+            self._become_alert()
+
+    # ------------------------------------------------------------------ #
+    # Steering state machine
+    # ------------------------------------------------------------------ #
+
+    def _update_steer(self, view: DriverView) -> None:
+        p = self.params
+        trigger = self._steer_trigger(view)
+        now = view.time
+        if trigger is not None:
+            self._steer_trigger_last_seen = now
+
+        if self._steer_active:
+            centred = abs(view.lateral_offset) < 0.15 and abs(view.rel_heading) < 0.03
+            held_long_enough = (
+                self._steer_started_at is not None
+                and now - self._steer_started_at >= p.steer_hold_min
+            )
+            if centred and trigger is None and held_long_enough:
+                if self._steer_clear_since is None:
+                    self._steer_clear_since = now
+                elif now - self._steer_clear_since > p.steer_release_hold:
+                    self._steer_active = False
+                    self._steer_clear_since = None
+                    self._steer_started_at = None
+            else:
+                self._steer_clear_since = None
+            return
+
+        if self._pending_steer_at is None:
+            if trigger is not None and not view.aeb_active:
+                self._pending_steer_at = now + self.effective_reaction_time
+                self._pending_steer_reason = trigger
+            return
+
+        last_seen = self._steer_trigger_last_seen
+        if last_seen is not None and now - last_seen > p.cancel_window:
+            self._pending_steer_at = None
+            self._pending_steer_reason = None
+            return
+        if now >= self._pending_steer_at and not view.aeb_active:
+            self._steer_active = True
+            self._steer_reason = self._pending_steer_reason
+            self._steer_clear_since = None
+            self._steer_started_at = now
+            self._become_alert()
+
+    def _become_alert(self) -> None:
+        """First emergency reaction executed: the driver stays alert.
+
+        Subsequent reactions are faster (``alerted_factor``), bounded below
+        by ``alerted_floor``.
+        """
+        p = self.params
+        self.effective_reaction_time = max(
+            p.alerted_floor, self.effective_reaction_time * p.alerted_factor
+        )
+
+    def _steer_command(self, view: DriverView) -> float:
+        """Corrective steering toward the lane centre (P on offset+heading)."""
+        p = self.params
+        curvature = (
+            -p.steer_offset_gain * view.lateral_offset
+            - p.steer_heading_gain * view.rel_heading
+        )
+        return clamp(math.atan(p.wheelbase * curvature), -0.5, 0.5)

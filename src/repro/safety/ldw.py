@@ -1,0 +1,64 @@
+"""Lane-departure warning.
+
+Warns when the ego body is close to a lane line or will cross one within a
+short prediction horizon (distance over lateral speed), the standard
+time-to-line-crossing LDW design.  The warning feeds the driver model's
+lateral-reaction trigger (the paper's Table II, "Lane Departure Warning"
+row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LdwParams:
+    """LDW design constants.
+
+    Attributes:
+        distance_threshold: warn when a body side is within this distance
+            of a lane line [m].
+        time_to_crossing: warn when the predicted time to line crossing
+            drops below this horizon [s].
+        min_speed: inhibit below this speed [m/s] (parking manoeuvres).
+    """
+
+    distance_threshold: float = 0.45
+    time_to_crossing: float = 1.6
+    min_speed: float = 3.0
+
+
+class LaneDepartureWarning:
+    """Stateless LDW evaluation."""
+
+    def __init__(self, params: LdwParams | None = None) -> None:
+        self.params = params or LdwParams()
+
+    def update(
+        self,
+        dist_right: float,
+        dist_left: float,
+        lateral_speed: float,
+        ego_speed: float,
+    ) -> bool:
+        """Return True while the warning is active.
+
+        Args:
+            dist_right: body-side distance to the right lane line [m].
+            dist_left: body-side distance to the left lane line [m].
+            lateral_speed: ego lateral velocity [m/s], positive left.
+            ego_speed: ego forward speed [m/s].
+        """
+        p = self.params
+        if ego_speed < p.min_speed:
+            return False
+        if min(dist_right, dist_left) < p.distance_threshold:
+            return True
+        if lateral_speed > 0.05:  # drifting left
+            if dist_left / lateral_speed < p.time_to_crossing:
+                return True
+        elif lateral_speed < -0.05:  # drifting right
+            if dist_right / -lateral_speed < p.time_to_crossing:
+                return True
+        return False

@@ -1,0 +1,77 @@
+"""PANDA-style firmware safety checking of control commands.
+
+OpenPilot ships its firmware safety model in the PANDA CAN interface, which
+is unavailable in simulation; like the paper, we "replicate the logic from
+PANDA and design a software-based safety constraint checker that detects if
+command values are within a predefined safe range, thereby blocking unsafe
+control commands".
+
+The longitudinal envelope is the paper's (and PANDA's, per ISO 22179):
+acceleration within **[-3.5, +2.0] m/s^2**.  Steering is bounded in angle
+and slew rate, mirroring PANDA's torque/rate checks.
+
+The checker only guards the *ADAS/ML command path*: AEBS actuation and the
+human driver's pedals/wheel are physically separate authorities that do not
+flow through the CAN safety firmware (which is also why the checker is the
+lowest-priority mechanism in the paper's hierarchy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adas.controlsd import AdasCommand
+from repro.utils.mathx import clamp, rate_limit
+
+
+@dataclass(frozen=True)
+class SafetyCheckerParams:
+    """The safe command envelope.
+
+    Attributes:
+        max_accel: maximum commanded acceleration [m/s^2] (ISO 22179: +2).
+        min_accel: minimum commanded acceleration [m/s^2] (ISO 22179: -3.5).
+        max_steer: maximum road-wheel steering angle [rad].
+        max_steer_rate: maximum steering slew [rad/s].
+    """
+
+    max_accel: float = 2.0
+    min_accel: float = -3.5
+    max_steer: float = 0.45
+    max_steer_rate: float = 0.35
+
+
+class SafetyChecker:
+    """Clamps ADAS/ML commands into the firmware-safe envelope."""
+
+    def __init__(self, params: SafetyCheckerParams | None = None) -> None:
+        self.params = params or SafetyCheckerParams()
+        self._last_steer = 0.0
+        self.blocked_accel_count = 0
+        self.blocked_steer_count = 0
+
+    def reset(self) -> None:
+        """Clear rate-limit state and counters (start of an episode)."""
+        self._last_steer = 0.0
+        self.blocked_accel_count = 0
+        self.blocked_steer_count = 0
+
+    def check(self, command: AdasCommand, dt: float) -> AdasCommand:
+        """Return ``command`` clamped into the safe envelope.
+
+        Args:
+            command: the raw ADAS or ML command.
+            dt: control period [s] (for the steering rate limit).
+        """
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        p = self.params
+        accel = clamp(command.accel, p.min_accel, p.max_accel)
+        if accel != command.accel:
+            self.blocked_accel_count += 1
+        steer = clamp(command.steer, -p.max_steer, p.max_steer)
+        steer = rate_limit(self._last_steer, steer, p.max_steer_rate * dt)
+        if steer != command.steer:
+            self.blocked_steer_count += 1
+        self._last_steer = steer
+        return AdasCommand(accel=accel, steer=steer)

@@ -1,0 +1,180 @@
+"""The paper's driving scenarios S1-S6 (NHTSA pre-collision typology).
+
+Common setup (Section IV-A): the ego cruises at 50 mph and approaches the
+lead vehicle from an initial bumper gap of 60 m or 230 m on a dry highway
+map.  Per-repetition jitter (initial gap, lead speed, trigger gaps) is drawn
+from the episode's seeded RNG streams so repetitions differ but campaigns
+are exactly reproducible.
+
+* **S1** lead cruises at 30 mph.
+* **S2** lead cruises at 30 mph, then accelerates to 40 mph.
+* **S3** lead cruises at 40 mph, then decelerates to 30 mph.
+* **S4** lead cruises at 30 mph, then suddenly brakes to a stop.
+* **S5** lead cruises at 30 mph; another vehicle cuts in from the
+  neighbouring lane.
+* **S6** two leads cruise at 30 mph in-lane; the nearer one changes into
+  the adjacent lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.agents import (
+    AgentBinding,
+    CruiseBehavior,
+    CutInBehavior,
+    LaneChangeAwayBehavior,
+    SpeedChangeBehavior,
+    SuddenStopBehavior,
+)
+from repro.sim.track import build_highway_map
+from repro.sim.vehicle import EgoVehicle, KinematicActor
+from repro.sim.weather import FrictionCondition
+from repro.sim.world import World
+from repro.utils.rng import RngStreams
+from repro.utils.units import mph_to_ms
+
+#: Scenario identifiers in paper order.
+SCENARIO_IDS = ("S1", "S2", "S3", "S4", "S5", "S6")
+
+#: The two initial bumper gaps evaluated in the paper [m].
+INITIAL_GAPS = (60.0, 230.0)
+
+#: Ego cruise set-speed: 50 mph.
+EGO_SPEED = mph_to_ms(50.0)
+
+#: Arc length where the ego vehicle starts.
+EGO_START_S = 30.0
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A fully-specified episode setup.
+
+    Attributes:
+        scenario_id: one of :data:`SCENARIO_IDS`.
+        initial_gap: bumper gap to the (nearest) lead at t=0 [m].
+        seed: episode seed; drives all per-repetition jitter.
+        friction: road condition (defaults to dry).
+        jitter: enable per-repetition randomisation (disable for
+            deterministic unit tests).
+    """
+
+    scenario_id: str = "S1"
+    initial_gap: float = 60.0
+    seed: int = 0
+    friction: Optional[FrictionCondition] = None
+    jitter: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scenario_id not in SCENARIO_IDS:
+            raise ValueError(f"unknown scenario {self.scenario_id!r}")
+        if self.initial_gap <= 0.0:
+            raise ValueError(f"initial_gap must be positive, got {self.initial_gap}")
+
+
+@dataclass(frozen=True)
+class ScenarioInfo:
+    """Catalog entry describing a scenario (for docs and reports)."""
+
+    scenario_id: str
+    description: str
+    lead_speeds_mph: List[float] = field(default_factory=list)
+
+
+def scenario_catalog() -> List[ScenarioInfo]:
+    """Human-readable catalogue of S1-S6 (mirrors the paper's Fig. 4)."""
+    return [
+        ScenarioInfo("S1", "Lead vehicle cruises at a constant 30 mph.", [30.0]),
+        ScenarioInfo("S2", "Lead cruises at 30 mph, then accelerates to 40 mph.", [30.0, 40.0]),
+        ScenarioInfo("S3", "Lead cruises at 40 mph, then decelerates to 30 mph.", [40.0, 30.0]),
+        ScenarioInfo("S4", "Lead cruises at 30 mph, then suddenly brakes to a stop.", [30.0]),
+        ScenarioInfo("S5", "Lead cruises at 30 mph; adjacent-lane vehicle cuts in.", [30.0]),
+        ScenarioInfo("S6", "Two leads at 30 mph; the nearer changes lane away.", [30.0]),
+    ]
+
+
+def build_scenario(config: ScenarioConfig) -> World:
+    """Instantiate the world for ``config``.
+
+    The ego starts at ``EGO_START_S`` already cruising at 50 mph; leads are
+    placed ``initial_gap`` metres ahead (bumper to bumper).
+    """
+    streams = RngStreams(config.seed).child("scenario", config.scenario_id)
+    rng = streams.get("setup")
+
+    def jit(scale: float) -> float:
+        if not config.jitter:
+            return 0.0
+        return float(rng.uniform(-scale, scale))
+
+    road = build_highway_map()
+    ego = EgoVehicle(road, s=EGO_START_S, d=0.0, speed=EGO_SPEED)
+    world = World(road, ego, friction=config.friction)
+
+    gap = config.initial_gap + jit(4.0)
+    lead_s = ego.front_s + gap + 0.5 * ego.params.length  # rear bumper at gap
+    v30 = mph_to_ms(30.0) + jit(0.45)
+    v40 = mph_to_ms(40.0) + jit(0.45)
+    sid = config.scenario_id
+
+    if sid == "S1":
+        lv = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV")
+        world.add_agent(AgentBinding(lv, CruiseBehavior(v30)))
+    elif sid == "S2":
+        lv = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV")
+        behavior = SpeedChangeBehavior(
+            initial_speed=v30,
+            final_speed=v40,
+            trigger_gap=45.0 + jit(4.0),
+            rate=1.0,
+        )
+        world.add_agent(AgentBinding(lv, behavior))
+    elif sid == "S3":
+        lv = KinematicActor(road, s=lead_s, d=0.0, speed=v40, name="LV")
+        behavior = SpeedChangeBehavior(
+            initial_speed=v40,
+            final_speed=v30,
+            trigger_gap=35.0 + jit(4.0),
+            rate=2.0,
+        )
+        world.add_agent(AgentBinding(lv, behavior))
+    elif sid == "S4":
+        lv = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV")
+        behavior = SuddenStopBehavior(
+            speed=v30,
+            trigger_gap=72.0 + jit(8.0),
+            decel=6.5,
+        )
+        world.add_agent(AgentBinding(lv, behavior))
+    elif sid == "S5":
+        lv = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV")
+        world.add_agent(AgentBinding(lv, CruiseBehavior(v30)))
+        # The cut-in car starts in the adjacent (left) lane, slightly
+        # behind the lead, and merges when the ego closes in fast.
+        cut_s = lead_s - 20.0 + jit(3.0)
+        cut = KinematicActor(
+            road, s=cut_s, d=road.lane_center(1), speed=v30, name="CutIn"
+        )
+        # A leisurely merge: at speed the ego reaches the merging car while
+        # it is still between lanes, so un-braked impacts are side impacts.
+        cut.lane_change_rate = 0.8
+        world.add_agent(
+            AgentBinding(cut, CutInBehavior(speed=v30, trigger_gap=26.0 + jit(3.0)))
+        )
+    elif sid == "S6":
+        far = KinematicActor(road, s=lead_s + 28.0, d=0.0, speed=v30, name="LV-far")
+        world.add_agent(AgentBinding(far, CruiseBehavior(v30)))
+        near = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV-near")
+        behavior = LaneChangeAwayBehavior(
+            speed=v30,
+            trigger_gap=40.0 + jit(4.0),
+            target_d=road.lane_center(1),
+        )
+        world.add_agent(AgentBinding(near, behavior))
+    else:  # pragma: no cover - guarded by ScenarioConfig validation
+        raise ValueError(f"unknown scenario {sid!r}")
+
+    return world

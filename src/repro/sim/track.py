@@ -1,0 +1,58 @@
+"""Prebuilt maps.
+
+The paper runs every scenario on a "dry highway map" containing both
+straight and curvy stretches ("to ensure the ego vehicle catches up with the
+lead vehicle on straight and curvy roads").  :func:`build_highway_map`
+recreates that layout: long straights interleaved with sweeping highway
+curves (radii 250-350 m) in both directions, ~3.6 km total so a 100 s
+episode at 50 mph never runs off the end.
+"""
+
+from __future__ import annotations
+
+from repro.sim.road import Road, RoadSegment
+
+
+def build_highway_map(num_lanes: int = 2, lane_width: float = 3.7) -> Road:
+    """The dry-highway evaluation map used by scenarios S1-S6.
+
+    Layout (arc lengths in metres, positive curvature = left):
+
+    ======  ========  =============
+    start   length    curvature
+    ======  ========  =============
+    0       400       0 (straight)
+    400     350       +1/300 (left)
+    750     250       0
+    1000    300       -1/250 (right)
+    1300    400       0
+    1700    300       +1/350 (left)
+    2000    600       0
+    2600    350       -1/300 (right)
+    2950    650       0
+    ======  ========  =============
+
+    The first curve begins at s = 400 m: an ego starting at s = 0 with a
+    230 m initial gap catches the lead vehicle on or near a curve, while a
+    60 m gap closes on the opening straight — reproducing the paper's mix
+    of straight-road and curvy-road encounters.
+    """
+    segments = [
+        RoadSegment(400.0, 0.0),
+        RoadSegment(350.0, 1.0 / 300.0),
+        RoadSegment(250.0, 0.0),
+        RoadSegment(300.0, -1.0 / 250.0),
+        RoadSegment(400.0, 0.0),
+        RoadSegment(300.0, 1.0 / 350.0),
+        RoadSegment(600.0, 0.0),
+        RoadSegment(350.0, -1.0 / 300.0),
+        RoadSegment(650.0, 0.0),
+    ]
+    return Road(segments, num_lanes=num_lanes, lane_width=lane_width)
+
+
+def build_straight_map(
+    length: float = 5000.0, num_lanes: int = 2, lane_width: float = 3.7
+) -> Road:
+    """A single long straight, used by unit tests and controller tuning."""
+    return Road([RoadSegment(length, 0.0)], num_lanes=num_lanes, lane_width=lane_width)

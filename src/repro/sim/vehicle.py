@@ -1,0 +1,268 @@
+"""Vehicle models.
+
+Two actor types populate the world:
+
+* :class:`EgoVehicle` — the ADAS-controlled car: a kinematic bicycle model
+  stepped in Frenet coordinates with a friction circle coupling braking and
+  cornering.  Steering is rate-limited (torque-limited EPS for the ADAS,
+  faster for a human driver).
+* :class:`KinematicActor` — traffic (lead vehicles, cut-in cars): follows
+  the road exactly; its behaviour policy supplies longitudinal acceleration
+  and a lateral-offset trajectory.  Friction still caps its acceleration so
+  e.g. a lead vehicle cannot out-brake an icy road.
+
+Frenet kinematics used by the ego step (road curvature ``k`` at ``s``):
+
+    s_dot   = v * cos(psi) / (1 - d * k)
+    d_dot   = v * sin(psi)
+    psi_dot = v * kappa_vehicle - k * s_dot
+
+with ``kappa_vehicle = tan(steer) / wheelbase`` reduced to the friction
+limit when the demanded lateral acceleration exceeds ``mu * g`` (understeer
+— the vehicle runs wide, which is how low-friction lane departures happen).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.powertrain import Powertrain, PowertrainParams
+from repro.sim.road import Road
+from repro.utils.mathx import clamp, rate_limit
+from repro.utils.units import G
+
+
+@dataclass(frozen=True)
+class VehicleParams:
+    """Physical dimensions and actuation limits of a passenger car."""
+
+    length: float = 4.7
+    width: float = 1.85
+    wheelbase: float = 2.7
+    max_steer: float = 0.5  # [rad] road-wheel angle
+    adas_steer_rate: float = 0.25  # [rad/s] torque-limited EPS
+    driver_steer_rate: float = 0.6  # [rad/s] human hands on the wheel
+    lateral_friction_fraction: float = 0.95  # share of mu*g usable laterally
+
+    def __post_init__(self) -> None:
+        if self.length <= 0 or self.width <= 0 or self.wheelbase <= 0:
+            raise ValueError("vehicle dimensions must be positive")
+        if not 0.0 < self.max_steer <= 1.0:
+            raise ValueError(f"max_steer out of range: {self.max_steer}")
+
+
+class EgoVehicle:
+    """Friction-limited kinematic bicycle model in Frenet coordinates.
+
+    Class attributes:
+        EMERGENCY_BRAKE_DECEL: commanded deceleration beyond which the
+            friction circle gives the longitudinal channel priority
+            (see :meth:`step`) [m/s^2].
+
+    Attributes (state):
+        s: arc length along the road reference line [m].
+        d: lateral offset from the reference line [m], positive left.
+        psi: heading relative to the road tangent [rad].
+        speed: forward speed [m/s] (non-negative).
+        accel: achieved longitudinal acceleration last step [m/s^2].
+        steer: current road-wheel steering angle [rad].
+    """
+
+    EMERGENCY_BRAKE_DECEL = 6.0
+
+    def __init__(
+        self,
+        road: Road,
+        s: float = 0.0,
+        d: float = 0.0,
+        speed: float = 0.0,
+        params: VehicleParams | None = None,
+        powertrain_params: PowertrainParams | None = None,
+    ) -> None:
+        if speed < 0.0:
+            raise ValueError(f"speed must be non-negative, got {speed}")
+        self.road = road
+        self.params = params or VehicleParams()
+        self.powertrain = Powertrain(powertrain_params)
+        self.s = s
+        self.d = d
+        self.psi = 0.0
+        self.speed = speed
+        self.accel = 0.0
+        self.steer = 0.0
+        self._steer_cmd = 0.0
+        self._accel_cmd = 0.0
+        self.sliding = False  # True while the friction circle saturates
+
+    # ------------------------------------------------------------------ #
+    # Command interface (called by the platform's arbitration output)
+    # ------------------------------------------------------------------ #
+
+    def apply_controls(
+        self, accel_cmd: float, steer_cmd: float, driver_steering: bool = False
+    ) -> None:
+        """Latch actuator commands for the next :meth:`step`.
+
+        Args:
+            accel_cmd: longitudinal acceleration command [m/s^2]
+                (negative = brake).
+            steer_cmd: road-wheel steering angle command [rad].
+            driver_steering: use the (faster) human steering rate limit.
+        """
+        self._accel_cmd = accel_cmd
+        self._steer_cmd = clamp(steer_cmd, -self.params.max_steer, self.params.max_steer)
+        self._driver_steering = driver_steering
+
+    # ------------------------------------------------------------------ #
+    # Dynamics
+    # ------------------------------------------------------------------ #
+
+    def step(self, dt: float, mu: float = 1.0) -> None:
+        """Advance the vehicle one step of ``dt`` seconds on friction ``mu``."""
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if mu <= 0.0:
+            raise ValueError(f"mu must be positive, got {mu}")
+        p = self.params
+        # Steering actuator: rate-limited tracking of the latched command.
+        steer_rate = (
+            p.driver_steer_rate if getattr(self, "_driver_steering", False) else p.adas_steer_rate
+        )
+        self.steer = rate_limit(self.steer, self._steer_cmd, steer_rate * dt)
+
+        # Friction circle.  Under normal driving the lateral (cornering)
+        # demand has priority and braking uses the remainder; under
+        # *emergency braking* (demand beyond EMERGENCY_BRAKE_DECEL) the
+        # longitudinal channel saturates the contact patch first and
+        # steering authority drops — hard AEB/driver braking therefore
+        # arrests an attack-induced lateral drift, which is the mechanism
+        # behind AEB preventing lateral (A2) accidents in the paper.
+        kappa_vehicle = math.tan(self.steer) / p.wheelbase
+        lat_demand = self.speed * self.speed * abs(kappa_vehicle)
+        mu_g = mu * G
+        emergency = self._accel_cmd <= -self.EMERGENCY_BRAKE_DECEL
+        if emergency:
+            brake_demand = min(-self._accel_cmd, mu_g * 0.97)
+            lat_budget_sq = mu_g * mu_g - brake_demand * brake_demand
+            lat_max = math.sqrt(lat_budget_sq) if lat_budget_sq > 0.0 else 0.0
+        else:
+            lat_max = mu_g * p.lateral_friction_fraction
+        if lat_demand > lat_max and self.speed > 0.1:
+            # Understeer: achieved curvature saturates at the grip limit.
+            kappa_eff = math.copysign(lat_max / (self.speed * self.speed), kappa_vehicle)
+            lat_used = lat_max
+            self.sliding = True
+        else:
+            kappa_eff = kappa_vehicle
+            lat_used = lat_demand
+            self.sliding = False
+
+        # Longitudinal: powertrain realises the command, then the friction
+        # circle caps what the tyres can transmit.
+        achieved = self.powertrain.actuate(self._accel_cmd, self.speed, dt)
+        long_budget_sq = mu_g * mu_g - lat_used * lat_used
+        long_max = math.sqrt(long_budget_sq) if long_budget_sq > 0.0 else 0.0
+        achieved = clamp(achieved, -long_max, max(long_max, 0.0))
+        self.accel = achieved
+
+        # Integrate Frenet kinematics (semi-implicit Euler on speed).
+        self.speed = max(0.0, self.speed + achieved * dt)
+        k_road = self.road.curvature_at(self.s)
+        denom = 1.0 - self.d * k_road
+        if denom < 0.2:
+            denom = 0.2  # far off-road; keep the integrator sane
+        s_dot = self.speed * math.cos(self.psi) / denom
+        d_dot = self.speed * math.sin(self.psi)
+        psi_dot = self.speed * kappa_eff - k_road * s_dot
+        self.s += s_dot * dt
+        self.d += d_dot * dt
+        self.psi += psi_dot * dt
+        self.psi = clamp(self.psi, -1.2, 1.2)  # bicycle model validity bound
+
+    # ------------------------------------------------------------------ #
+    # Geometry helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def front_s(self) -> float:
+        """Arc length of the front bumper."""
+        return self.s + 0.5 * self.params.length
+
+    @property
+    def rear_s(self) -> float:
+        """Arc length of the rear bumper."""
+        return self.s - 0.5 * self.params.length
+
+    def lateral_speed(self) -> float:
+        """Lateral velocity ``d_dot`` [m/s] (positive = drifting left)."""
+        return self.speed * math.sin(self.psi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EgoVehicle(s={self.s:.1f}, d={self.d:+.2f}, v={self.speed:.1f}, "
+            f"psi={self.psi:+.3f}, steer={self.steer:+.3f})"
+        )
+
+
+class KinematicActor:
+    """A traffic vehicle that follows the road exactly.
+
+    Behaviour policies (see :mod:`repro.sim.agents`) drive it by setting
+    ``accel_cmd`` and ``d_target`` each step; the actor integrates speed and
+    slews its lateral offset toward ``d_target`` at ``lane_change_rate``.
+    """
+
+    def __init__(
+        self,
+        road: Road,
+        s: float,
+        d: float,
+        speed: float,
+        params: VehicleParams | None = None,
+        name: str = "actor",
+    ) -> None:
+        if speed < 0.0:
+            raise ValueError(f"speed must be non-negative, got {speed}")
+        self.road = road
+        self.params = params or VehicleParams()
+        self.name = name
+        self.s = s
+        self.d = d
+        self.speed = speed
+        self.accel = 0.0
+        self.accel_cmd = 0.0
+        self.d_target = d
+        self.lane_change_rate = 1.3  # [m/s] lateral slew during lane changes
+
+    def step(self, dt: float, mu: float = 1.0) -> None:
+        """Advance one step; acceleration is friction-clamped."""
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        limit = mu * G
+        self.accel = clamp(self.accel_cmd, -limit, limit)
+        self.speed = max(0.0, self.speed + self.accel * dt)
+        self.s += self.speed * dt
+        self.d = rate_limit(self.d, self.d_target, self.lane_change_rate * dt)
+
+    @property
+    def front_s(self) -> float:
+        """Arc length of the front bumper."""
+        return self.s + 0.5 * self.params.length
+
+    @property
+    def rear_s(self) -> float:
+        """Arc length of the rear bumper."""
+        return self.s - 0.5 * self.params.length
+
+    def lateral_speed(self) -> float:
+        """Approximate lateral velocity toward ``d_target`` [m/s]."""
+        if abs(self.d_target - self.d) < 1e-9:
+            return 0.0
+        return math.copysign(self.lane_change_rate, self.d_target - self.d)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KinematicActor({self.name!r}, s={self.s:.1f}, d={self.d:+.2f}, "
+            f"v={self.speed:.1f})"
+        )

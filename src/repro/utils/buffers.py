@@ -1,0 +1,84 @@
+"""Fixed-size history buffers.
+
+The ML baseline consumes 20-control-cycle windows of state and actuation
+history (the paper's Algorithm 1, lines 4-5); the driver model debounces
+trigger conditions over short windows.  Both use :class:`RingBuffer`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+
+class RingBuffer:
+    """A fixed-capacity FIFO over floats with O(1) append.
+
+    Unlike ``collections.deque`` this exposes ``latest(n)`` returning the
+    most recent ``n`` items oldest-first, which is the exact windowing the
+    LSTM input pipeline needs, and ``filled`` to gate consumers until enough
+    history exists.
+    """
+
+    def __init__(self, capacity: int, fill: Optional[float] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._data: List[float] = []
+        self._head = 0  # index of the oldest element once wrapped
+        if fill is not None:
+            for _ in range(capacity):
+                self.append(fill)
+
+    def append(self, value: float) -> None:
+        """Append ``value``, evicting the oldest element when full."""
+        if len(self._data) < self.capacity:
+            self._data.append(value)
+        else:
+            self._data[self._head] = value
+            self._head = (self._head + 1) % self.capacity
+
+    @property
+    def filled(self) -> bool:
+        """True once ``capacity`` values have been appended."""
+        return len(self._data) == self.capacity
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def latest(self, n: Optional[int] = None) -> List[float]:
+        """Return the latest ``n`` values (default: all), oldest first."""
+        if n is None:
+            n = len(self._data)
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        n = min(n, len(self._data))
+        ordered = self._ordered()
+        return ordered[len(ordered) - n :]
+
+    def last(self) -> float:
+        """Return the most recently appended value.
+
+        Raises:
+            IndexError: if the buffer is empty.
+        """
+        if not self._data:
+            raise IndexError("last() on empty RingBuffer")
+        if len(self._data) < self.capacity:
+            return self._data[-1]
+        return self._data[(self._head - 1) % self.capacity]
+
+    def clear(self) -> None:
+        """Drop all stored values."""
+        self._data = []
+        self._head = 0
+
+    def _ordered(self) -> List[float]:
+        if len(self._data) < self.capacity:
+            return list(self._data)
+        return self._data[self._head :] + self._data[: self._head]
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._ordered())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingBuffer(capacity={self.capacity}, len={len(self)})"

@@ -1,0 +1,98 @@
+"""Small math helpers used throughout the hot simulation loop.
+
+These are deliberately plain functions over floats (no NumPy): the
+closed-loop platform steps at 100 Hz over small scalar states, where NumPy
+call overhead dominates actual arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` into the closed interval ``[lo, hi]``.
+
+    Raises:
+        ValueError: if ``lo > hi``.
+    """
+    if lo > hi:
+        raise ValueError(f"empty clamp interval: [{lo}, {hi}]")
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value
+
+
+def sign(value: float) -> float:
+    """Return -1.0, 0.0 or +1.0 matching the sign of ``value``."""
+    if value > 0.0:
+        return 1.0
+    if value < 0.0:
+        return -1.0
+    return 0.0
+
+
+def wrap_angle(angle: float) -> float:
+    """Wrap an angle in radians into ``(-pi, pi]``."""
+    wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+def rate_limit(current: float, target: float, max_delta: float) -> float:
+    """Move ``current`` toward ``target`` by at most ``max_delta``.
+
+    Models actuators (steering racks, brake pressure) that cannot jump to a
+    commanded value instantaneously.
+
+    Raises:
+        ValueError: if ``max_delta`` is negative.
+    """
+    if max_delta < 0.0:
+        raise ValueError(f"max_delta must be non-negative, got {max_delta}")
+    delta = target - current
+    if delta > max_delta:
+        return current + max_delta
+    if delta < -max_delta:
+        return current - max_delta
+    return target
+
+
+def interp1d(x: float, xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Piecewise-linear interpolation of ``x`` over knots ``(xs, ys)``.
+
+    ``xs`` must be strictly increasing.  Values outside the knot range are
+    clamped to the boundary values (no extrapolation), matching how lookup
+    tables behave in production controllers.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if not xs:
+        raise ValueError("empty knot table")
+    if x <= xs[0]:
+        return ys[0]
+    if x >= xs[-1]:
+        return ys[-1]
+    # Binary search would be overkill for the 3-5 knot tables used here.
+    for i in range(1, len(xs)):
+        if x <= xs[i]:
+            x0, x1 = xs[i - 1], xs[i]
+            y0, y1 = ys[i - 1], ys[i]
+            t = (x - x0) / (x1 - x0)
+            return y0 + t * (y1 - y0)
+    return ys[-1]
+
+
+def smoothstep(edge0: float, edge1: float, x: float) -> float:
+    """Hermite smoothstep between ``edge0`` and ``edge1``.
+
+    Used for soft activations (e.g. lateral moves of cut-in agents).
+    """
+    if edge0 == edge1:
+        return 0.0 if x < edge0 else 1.0
+    t = clamp((x - edge0) / (edge1 - edge0), 0.0, 1.0)
+    return t * t * (3.0 - 2.0 * t)

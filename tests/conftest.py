@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.campaign import EpisodeSpec
+from repro.attacks.fi import FaultType
+from repro.sim.track import build_highway_map, build_straight_map
+from repro.sim.vehicle import EgoVehicle
+from repro.sim.world import World
+
+
+@pytest.fixture
+def straight_road():
+    """A long straight two-lane road."""
+    return build_straight_map()
+
+
+@pytest.fixture
+def highway_road():
+    """The evaluation highway map."""
+    return build_highway_map()
+
+
+@pytest.fixture
+def straight_world(straight_road):
+    """A world with a single ego at 20 m/s on the straight map."""
+    ego = EgoVehicle(straight_road, s=10.0, d=0.0, speed=20.0)
+    return World(straight_road, ego)
+
+
+def episode(scenario_id="S1", gap=60.0, fault=FaultType.NONE, seed=1234):
+    """Convenience EpisodeSpec builder used across test modules."""
+    return EpisodeSpec(
+        scenario_id=scenario_id,
+        initial_gap=gap,
+        fault_type=fault,
+        repetition=0,
+        seed=seed,
+    )

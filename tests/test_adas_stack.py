@@ -1,0 +1,228 @@
+"""Unit tests for the ADAS stack: perception, tracker, planners, controlsd."""
+
+import math
+
+import pytest
+
+from repro.adas.controlsd import ControlsD
+from repro.adas.lat_planner import LatPlanner
+from repro.adas.lead_tracker import LeadTracker
+from repro.adas.long_planner import LongPlanner, LongPlannerParams
+from repro.adas.perception import PerceptionModel, PerceptionOutput, PerceptionParams
+from repro.sim.agents import AgentBinding, CruiseBehavior
+from repro.sim.sensors import GroundTruthSensor
+from repro.sim.track import build_straight_map
+from repro.sim.vehicle import EgoVehicle, KinematicActor
+from repro.sim.world import World
+from repro.utils.rng import RngStreams
+
+DT = 0.01
+
+
+def frame(lead_valid=True, rd=40.0, rs=5.0, curvature=0.0):
+    return PerceptionOutput(
+        lead_valid=lead_valid,
+        lead_rd=rd,
+        lead_rs=rs,
+        lane_left=0.9,
+        lane_right=0.9,
+        desired_curvature=curvature,
+    )
+
+
+def make_perception(lead_gap=40.0, lead_lane_d=0.0, noise=True):
+    road = build_straight_map()
+    ego = EgoVehicle(road, s=50.0, d=0.0, speed=20.0)
+    world = World(road, ego)
+    lead_s = ego.front_s + lead_gap + 2.35
+    lv = KinematicActor(road, s=lead_s, d=lead_lane_d, speed=13.0, name="LV")
+    world.add_agent(AgentBinding(lv, CruiseBehavior(13.0)))
+    params = PerceptionParams() if noise else PerceptionParams(
+        rd_noise=0.0, rs_noise=0.0, lane_noise=0.0, curvature_noise=0.0
+    )
+    model = PerceptionModel(GroundTruthSensor(world), RngStreams(3), params)
+    return world, model
+
+
+class TestPerception:
+    def test_detects_lead_in_range(self):
+        world, model = make_perception(lead_gap=40.0)
+        out = model.run(DT)
+        assert out.lead_valid
+        assert out.lead_rd == pytest.approx(40.0, abs=1.0)
+
+    def test_close_range_blind_spot(self):
+        world, model = make_perception(lead_gap=1.5)
+        out = model.run(DT)
+        assert not out.lead_valid  # the paper's <2 m detection failure
+
+    def test_out_of_range_not_detected(self):
+        world, model = make_perception(lead_gap=140.0)
+        out = model.run(DT)
+        assert not out.lead_valid
+
+    def test_lane_distances_noisy_but_centred(self):
+        world, model = make_perception(noise=False)
+        out = model.run(DT)
+        expected = (3.7 - world.ego.params.width) / 2
+        assert out.lane_left == pytest.approx(expected, abs=0.01)
+        assert out.lane_right == pytest.approx(expected, abs=0.01)
+
+    def test_centering_feedback_opposes_offset(self):
+        world, model = make_perception(noise=False)
+        world.ego.d = 0.5  # offset left of centre
+        for _ in range(100):
+            out = model.run(DT)
+        assert out.desired_curvature < 0.0  # steer right, back to centre
+
+    def test_feedback_recenters_on_adjacent_lane(self):
+        world, model = make_perception(noise=False)
+        world.ego.d = 3.7  # fully in the adjacent lane
+        for _ in range(100):
+            out = model.run(DT)
+        # no offset relative to the (new) nearest lane -> ~zero feedback
+        assert abs(out.desired_curvature) < 1e-3
+
+    def test_fi_rewrite_helpers(self):
+        out = frame(rd=40.0)
+        assert out.with_lead(rd=70.0).lead_rd == 70.0
+        assert out.with_curvature(0.01).desired_curvature == 0.01
+        # original is immutable
+        assert out.lead_rd == 40.0
+
+
+class TestLeadTracker:
+    def test_initialises_on_first_detection(self):
+        tracker = LeadTracker()
+        lead = tracker.update(frame(rd=40.0, rs=5.0), DT)
+        assert lead.valid
+        assert lead.rd == pytest.approx(40.0)
+
+    def test_smooths_noise(self):
+        tracker = LeadTracker()
+        tracker.update(frame(rd=40.0, rs=5.0), DT)
+        lead = tracker.update(frame(rd=43.0, rs=5.0), DT)  # outlier
+        assert lead.rd < 42.0
+
+    def test_coasts_through_dropout(self):
+        tracker = LeadTracker(coast_time=0.3)
+        tracker.update(frame(rd=40.0, rs=5.0), DT)
+        for _ in range(10):  # 0.1 s dropout
+            lead = tracker.update(frame(lead_valid=False), DT)
+        assert lead.valid
+        assert lead.rd < 40.0  # predicted forward
+
+    def test_invalidates_after_sustained_loss(self):
+        tracker = LeadTracker(coast_time=0.3)
+        tracker.update(frame(rd=40.0, rs=5.0), DT)
+        for _ in range(40):  # 0.4 s
+            lead = tracker.update(frame(lead_valid=False), DT)
+        assert not lead.valid
+
+    def test_gain_validation(self):
+        with pytest.raises(ValueError):
+            LeadTracker(alpha=0.0)
+
+    def test_reset(self):
+        tracker = LeadTracker()
+        tracker.update(frame(), DT)
+        tracker.reset()
+        assert not tracker.current().valid
+
+
+class TestLongPlanner:
+    def test_cruises_to_set_speed(self):
+        planner = LongPlanner(set_speed=22.35)
+        from repro.adas.lead_tracker import TrackedLead
+
+        accel = planner.plan(15.0, TrackedLead(False, 0.0, 0.0))
+        assert accel > 0.5
+
+    def test_no_lead_no_braking(self):
+        planner = LongPlanner(set_speed=22.35)
+        from repro.adas.lead_tracker import TrackedLead
+
+        accel = planner.plan(22.35, TrackedLead(False, 0.0, 0.0))
+        assert abs(accel) < 0.2
+
+    def test_desired_gap_formula(self):
+        planner = LongPlanner(set_speed=22.35)
+        p = planner.params
+        assert planner.desired_gap(13.4) == pytest.approx(p.min_gap + p.time_gap * 13.4)
+
+    def test_late_braking_profile(self):
+        # Far away and closing slowly: keep cruising (the documented
+        # OpenPilot "aggressive late braking").
+        planner = LongPlanner(set_speed=22.35)
+        from repro.adas.lead_tracker import TrackedLead
+
+        far = planner.plan(22.35, TrackedLead(True, 120.0, 9.0))
+        assert far >= -0.1
+        close = planner.plan(22.35, TrackedLead(True, 45.0, 9.0))
+        assert close < -1.5
+
+    def test_panic_braking_below_ttc(self):
+        planner = LongPlanner(set_speed=22.35)
+        from repro.adas.lead_tracker import TrackedLead
+
+        accel = planner.plan(20.0, TrackedLead(True, 8.0, 9.0))  # ttc 0.9 s
+        assert accel == pytest.approx(-planner.params.panic_decel)
+
+    def test_panic_exceeds_iso_envelope(self):
+        # The raw planner output can exceed the ISO/PANDA -3.5 envelope;
+        # the firmware checker is what clamps it (the paper's tension).
+        assert LongPlannerParams().panic_decel > 3.5
+
+    def test_gap_regulation_when_not_closing(self):
+        planner = LongPlanner(set_speed=22.35)
+        from repro.adas.lead_tracker import TrackedLead
+
+        # At the desired gap with zero closing: nearly zero accel.
+        v = 13.4
+        gap = planner.desired_gap(v)
+        accel = planner.plan(v, TrackedLead(True, gap, 0.0))
+        assert abs(accel) < 0.3
+
+    def test_set_speed_validation(self):
+        with pytest.raises(ValueError):
+            LongPlanner(set_speed=0.0)
+
+
+class TestLatPlanner:
+    def test_zero_curvature_zero_steer(self):
+        planner = LatPlanner()
+        assert planner.plan(0.0, DT) == 0.0
+
+    def test_converges_to_bicycle_angle(self):
+        planner = LatPlanner()
+        steer = 0.0
+        for _ in range(200):
+            steer = planner.plan(0.01, DT)
+        assert steer == pytest.approx(math.atan(2.7 * 0.01), abs=1e-4)
+
+    def test_smoothing_delays_response(self):
+        planner = LatPlanner()
+        first = planner.plan(0.01, DT)
+        assert first < math.atan(2.7 * 0.01) * 0.5
+
+    def test_saturation(self):
+        planner = LatPlanner()
+        steer = 0.0
+        for _ in range(2000):
+            steer = planner.plan(10.0, DT)
+        assert steer == planner.params.max_steer
+
+
+class TestControlsD:
+    def test_full_loop_produces_command(self):
+        controls = ControlsD(set_speed=22.35)
+        cmd = controls.update(frame(rd=30.0, rs=9.0), 22.0, DT)
+        assert cmd.accel < 0.0  # closing fast at 30 m: braking
+        assert isinstance(cmd.steer, float)
+
+    def test_reset_clears_state(self):
+        controls = ControlsD(set_speed=22.35)
+        controls.update(frame(), 20.0, DT)
+        controls.reset()
+        assert not controls.last_lead.valid
+        assert controls.last_command.accel == 0.0

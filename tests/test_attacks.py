@@ -1,0 +1,224 @@
+"""Unit tests for the fault-injection engine and attack models (Table III)."""
+
+import pytest
+
+from repro.attacks.campaign import ATTACK_FAULT_TYPES, CampaignSpec, enumerate_campaign
+from repro.attacks.fi import FaultInjectionEngine, FaultType
+from repro.attacks.patches import (
+    CurvaturePatchAttack,
+    MixedAttack,
+    RelativeDistanceAttack,
+    build_attack,
+)
+from repro.sim.agents import AgentBinding, CruiseBehavior
+from repro.sim.sensors import GroundTruthSensor
+from repro.sim.track import build_straight_map
+from repro.sim.vehicle import EgoVehicle, KinematicActor
+from repro.sim.world import World
+from repro.adas.perception import PerceptionOutput
+
+
+def frame(lead_valid=True, rd=40.0, rs=5.0, curvature=0.0):
+    return PerceptionOutput(
+        lead_valid=lead_valid,
+        lead_rd=rd,
+        lead_rs=rs,
+        lane_left=0.9,
+        lane_right=0.9,
+        desired_curvature=curvature,
+    )
+
+
+def make_sensor(lead_gap=40.0, ego_s=50.0):
+    road = build_straight_map()
+    ego = EgoVehicle(road, s=ego_s, d=0.0, speed=20.0)
+    world = World(road, ego)
+    if lead_gap is not None:
+        lead_s = ego.front_s + lead_gap + 2.35
+        lv = KinematicActor(road, s=lead_s, d=0.0, speed=13.0, name="LV")
+        world.add_agent(AgentBinding(lv, CruiseBehavior(13.0)))
+    return GroundTruthSensor(world)
+
+
+class TestRelativeDistanceAttack:
+    def test_table3_offset_schedule(self):
+        attack = RelativeDistanceAttack()
+        assert attack.offset_for(100.0) is None  # out of trigger range
+        assert attack.offset_for(60.0) == 10.0
+        assert attack.offset_for(24.0) == 15.0
+        assert attack.offset_for(15.0) == 38.0
+
+    def test_boundaries(self):
+        attack = RelativeDistanceAttack()
+        assert attack.offset_for(80.0) is None
+        assert attack.offset_for(79.99) == 10.0
+        assert attack.offset_for(25.0) == 10.0
+        assert attack.offset_for(20.0) == 15.0
+
+    def test_engine_inflates_rd(self):
+        sensor = make_sensor(lead_gap=60.0)
+        engine = FaultInjectionEngine(RelativeDistanceAttack(), sensor)
+        out = engine.apply(frame(rd=60.0), time=1.0)
+        assert out.lead_rd == pytest.approx(70.0)
+        assert engine.rd_active
+        assert engine.first_activation == 1.0
+
+    def test_engine_inactive_beyond_range(self):
+        sensor = make_sensor(lead_gap=100.0)
+        engine = FaultInjectionEngine(RelativeDistanceAttack(), sensor)
+        out = engine.apply(frame(rd=100.0), time=1.0)
+        assert out.lead_rd == pytest.approx(100.0)
+        assert not engine.rd_active
+
+    def test_cannot_resurrect_blind_lead(self):
+        # Below the perception blind range the lead frame is invalid;
+        # the patch cannot restore detection (the Fig. 6 cascade).
+        sensor = make_sensor(lead_gap=1.5)
+        engine = FaultInjectionEngine(RelativeDistanceAttack(), sensor)
+        out = engine.apply(frame(lead_valid=False, rd=0.0), time=1.0)
+        assert not out.lead_valid
+
+
+class TestCurvatureAttack:
+    def test_bias_is_three_percent_of_range(self):
+        attack = CurvaturePatchAttack()
+        assert attack.curvature_bias == pytest.approx(
+            attack.deviation_fraction * attack.curvature_range
+        )
+        assert attack.deviation_fraction == 0.03  # the paper's 3 %
+
+    def test_patch_coverage(self):
+        attack = CurvaturePatchAttack(patch_s=100.0, patch_length=10.0)
+        assert not attack.covers(99.0)
+        assert attack.covers(105.0)
+        assert not attack.covers(111.0)
+
+    def test_engine_biases_curvature_while_over_patch(self):
+        sensor = make_sensor(lead_gap=None, ego_s=105.0)
+        attack = CurvaturePatchAttack(patch_s=100.0, patch_length=10.0, duration=2.0)
+        engine = FaultInjectionEngine(attack, sensor)
+        out = engine.apply(frame(curvature=0.0), time=0.0)
+        assert out.desired_curvature == pytest.approx(attack.curvature_bias)
+        assert engine.curvature_active
+
+    def test_fault_persists_for_duration_then_expires(self):
+        sensor = make_sensor(lead_gap=None, ego_s=105.0)
+        attack = CurvaturePatchAttack(patch_s=100.0, patch_length=10.0, duration=2.0)
+        engine = FaultInjectionEngine(attack, sensor)
+        engine.apply(frame(), time=0.0)
+        sensor.world.ego.s = 130.0  # passed the patch
+        still = engine.apply(frame(), time=1.5)
+        assert still.desired_curvature != 0.0
+        expired = engine.apply(frame(), time=130.0)
+        assert expired.desired_curvature == 0.0
+
+    def test_sign_selection(self):
+        sensor = make_sensor(lead_gap=None, ego_s=105.0)
+        attack = CurvaturePatchAttack(patch_s=100.0, patch_length=10.0)
+        engine = FaultInjectionEngine(attack, sensor)
+        engine.set_curvature_sign(-1.0)
+        out = engine.apply(frame(), time=0.0)
+        assert out.desired_curvature < 0.0
+
+    def test_sign_validation(self):
+        sensor = make_sensor()
+        engine = FaultInjectionEngine(CurvaturePatchAttack(), sensor)
+        with pytest.raises(ValueError):
+            engine.set_curvature_sign(0.5)
+
+
+class TestMixedAttack:
+    def test_close_range_gating(self):
+        # The curvature head is perturbed once the ego is close behind the
+        # patched lead, even far from the road patch.
+        sensor = make_sensor(lead_gap=15.0)
+        attack = MixedAttack(
+            rd=RelativeDistanceAttack(),
+            curvature=CurvaturePatchAttack(patch_s=5000.0),
+            curvature_trigger_rd=20.0,
+        )
+        engine = FaultInjectionEngine(attack, sensor)
+        out = engine.apply(frame(rd=15.0), time=0.0)
+        assert engine.rd_active
+        assert engine.curvature_active
+        assert out.desired_curvature != 0.0
+
+    def test_no_curvature_gating_at_medium_range(self):
+        sensor = make_sensor(lead_gap=50.0)
+        attack = MixedAttack(
+            rd=RelativeDistanceAttack(),
+            curvature=CurvaturePatchAttack(patch_s=5000.0),
+            curvature_trigger_rd=20.0,
+        )
+        engine = FaultInjectionEngine(attack, sensor)
+        out = engine.apply(frame(rd=50.0), time=0.0)
+        assert engine.rd_active
+        assert not engine.curvature_active
+
+
+class TestBuildAttack:
+    def test_none(self):
+        assert build_attack("none") is None
+        assert build_attack(None) is None
+
+    def test_types(self):
+        assert isinstance(build_attack("relative_distance"), RelativeDistanceAttack)
+        assert isinstance(build_attack("desired_curvature"), CurvaturePatchAttack)
+        assert isinstance(build_attack("mixed"), MixedAttack)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            build_attack("gps_spoof")
+
+    def test_patch_jitter_from_streams(self):
+        from repro.utils.rng import RngStreams
+
+        a = build_attack("desired_curvature", RngStreams(1))
+        b = build_attack("desired_curvature", RngStreams(2))
+        assert a.patch_s != b.patch_s
+
+    def test_engine_rejects_unknown_object(self):
+        sensor = make_sensor()
+        with pytest.raises(TypeError):
+            FaultInjectionEngine(object(), sensor)
+
+
+class TestCampaign:
+    def test_paper_grid_size(self):
+        # 3 fault types x 2 initial positions x 6 scenarios x 10 reps = 360
+        episodes = enumerate_campaign(CampaignSpec(repetitions=10))
+        assert len(episodes) == 360
+
+    def test_seeds_unique(self):
+        episodes = enumerate_campaign(CampaignSpec(repetitions=3))
+        seeds = {e.seed for e in episodes}
+        assert len(seeds) == len(episodes)
+
+    def test_seeds_stable_across_grids(self):
+        # The same cell gets the same seed regardless of which other cells
+        # are enumerated (identical-episode comparison across configs).
+        full = enumerate_campaign(CampaignSpec(repetitions=2))
+        only_rd = enumerate_campaign(
+            CampaignSpec(fault_types=[FaultType.RELATIVE_DISTANCE], repetitions=2)
+        )
+        full_rd = {
+            (e.scenario_id, e.initial_gap, e.repetition): e.seed
+            for e in full
+            if e.fault_type is FaultType.RELATIVE_DISTANCE
+        }
+        for e in only_rd:
+            assert full_rd[(e.scenario_id, e.initial_gap, e.repetition)] == e.seed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(repetitions=0)
+        with pytest.raises(ValueError):
+            CampaignSpec(scenario_ids=["S9"])
+
+    def test_attack_fault_types(self):
+        assert FaultType.NONE not in ATTACK_FAULT_TYPES
+        assert len(ATTACK_FAULT_TYPES) == 3
+
+    def test_episode_label(self):
+        episodes = enumerate_campaign(CampaignSpec(repetitions=1))
+        assert "S1" in episodes[0].label()

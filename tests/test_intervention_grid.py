@@ -1,0 +1,137 @@
+"""Cross-module integration grid: scenarios x faults x interventions.
+
+Broad-but-shallow sweep asserting the platform never produces physically
+impossible results under any configuration: speeds stay non-negative,
+terminal accidents match the latched world events, prevention bookkeeping
+is consistent, and identical seeds reproduce identical outcomes across the
+intervention axis (the identical-episode comparison Table VI relies on).
+"""
+
+import pytest
+
+from repro.attacks.campaign import EpisodeSpec
+from repro.attacks.fi import FaultType
+from repro.core.hazards import AccidentType
+from repro.core.platform import SimulationPlatform
+from repro.safety.aebs import AebsConfig
+from repro.safety.arbitration import InterventionConfig
+
+GRID_CONFIGS = [
+    InterventionConfig(),
+    InterventionConfig(driver=True),
+    InterventionConfig(safety_check=True),
+    InterventionConfig(aeb=AebsConfig.COMPROMISED),
+    InterventionConfig(aeb=AebsConfig.INDEPENDENT),
+    InterventionConfig(driver=True, safety_check=True, aeb=AebsConfig.INDEPENDENT),
+]
+
+
+@pytest.mark.parametrize("scenario_id", ["S1", "S2", "S3", "S4", "S5", "S6"])
+@pytest.mark.parametrize(
+    "fault",
+    [FaultType.NONE, FaultType.RELATIVE_DISTANCE, FaultType.MIXED],
+)
+def test_grid_sanity(scenario_id, fault):
+    spec = EpisodeSpec(
+        scenario_id=scenario_id,
+        initial_gap=60.0,
+        fault_type=fault,
+        repetition=0,
+        seed=4242,
+    )
+    cfg = InterventionConfig(driver=True, aeb=AebsConfig.INDEPENDENT)
+    platform = SimulationPlatform(spec, cfg, max_steps=5000)
+    result = platform.run()
+
+    # Physical sanity.
+    assert platform.world.ego.speed >= 0.0
+    assert result.max_speed <= 30.0  # never far beyond the 22.35 set speed
+    assert result.steps <= 5000
+    assert result.duration == pytest.approx(result.steps * 0.01)
+
+    # Accident bookkeeping consistency.
+    if result.accident is AccidentType.A1:
+        assert platform.world.collision is not None
+        assert not platform.world.collision.lateral
+    if result.accident is None:
+        assert result.accident_time is None
+    else:
+        assert result.accident_time is not None
+        assert result.accident_time <= result.duration + 1e-9
+
+    # Prevention only defined for activated attacks.
+    if fault is FaultType.NONE:
+        assert not result.attack_activated
+        assert not result.prevented
+    elif result.prevented:
+        assert result.accident is None
+
+
+@pytest.mark.parametrize("config", GRID_CONFIGS, ids=lambda c: c.label())
+def test_identical_seed_identical_episode(config):
+    """Each intervention config sees the exact same attack episode."""
+    spec = EpisodeSpec(
+        scenario_id="S2",
+        initial_gap=60.0,
+        fault_type=FaultType.RELATIVE_DISTANCE,
+        repetition=0,
+        seed=31337,
+    )
+    first = SimulationPlatform(spec, config, max_steps=4000).run()
+    second = SimulationPlatform(spec, config, max_steps=4000).run()
+    assert first.accident == second.accident
+    assert first.min_ttc == second.min_ttc
+    assert first.attack_first_activation == second.attack_first_activation
+
+
+def test_attack_onset_invariant_across_interventions():
+    """The attack trigger depends on true geometry, so until the control
+    loops diverge, every configuration sees the same onset."""
+    spec = EpisodeSpec(
+        scenario_id="S1",
+        initial_gap=60.0,
+        fault_type=FaultType.RELATIVE_DISTANCE,
+        repetition=0,
+        seed=99,
+    )
+    onsets = set()
+    for cfg in (InterventionConfig(), InterventionConfig(safety_check=True)):
+        result = SimulationPlatform(spec, cfg, max_steps=3000).run()
+        onsets.add(result.attack_first_activation)
+    assert len(onsets) == 1
+
+
+def test_interventions_never_hurt_fault_free_runs():
+    """Safety mechanisms must not cause accidents in benign episodes."""
+    for sid in ("S1", "S2", "S3", "S5", "S6"):
+        spec = EpisodeSpec(
+            scenario_id=sid,
+            initial_gap=60.0,
+            fault_type=FaultType.NONE,
+            repetition=0,
+            seed=777,
+        )
+        cfg = InterventionConfig(
+            driver=True, safety_check=True, aeb=AebsConfig.INDEPENDENT
+        )
+        result = SimulationPlatform(spec, cfg).run()
+        assert result.accident is None, sid
+
+
+def test_aeb_trigger_rate_low_in_benign_runs():
+    """The AEBS must not fire on most benign approaches (its thresholds sit
+    at the boundary of the stack's normal approach TTC)."""
+    triggers = 0
+    for seed in range(5):
+        spec = EpisodeSpec(
+            scenario_id="S1",
+            initial_gap=60.0,
+            fault_type=FaultType.NONE,
+            repetition=0,
+            seed=1000 + seed,
+        )
+        result = SimulationPlatform(
+            spec, InterventionConfig(aeb=AebsConfig.INDEPENDENT)
+        ).run()
+        triggers += result.aeb.triggered
+    assert triggers <= 3

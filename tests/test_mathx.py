@@ -1,0 +1,107 @@
+"""Unit tests for repro.utils.mathx."""
+
+import math
+
+import pytest
+
+from repro.utils.mathx import clamp, interp1d, rate_limit, sign, smoothstep, wrap_angle
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below(self):
+        assert clamp(-3.0, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert clamp(7.0, 0.0, 1.0) == 1.0
+
+    def test_degenerate_interval(self):
+        assert clamp(5.0, 2.0, 2.0) == 2.0
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(0.0, 1.0, -1.0)
+
+
+class TestSign:
+    def test_positive(self):
+        assert sign(3.2) == 1.0
+
+    def test_negative(self):
+        assert sign(-0.001) == -1.0
+
+    def test_zero(self):
+        assert sign(0.0) == 0.0
+
+
+class TestWrapAngle:
+    def test_identity_in_range(self):
+        assert wrap_angle(1.0) == pytest.approx(1.0)
+
+    def test_wraps_over_pi(self):
+        assert wrap_angle(math.pi + 0.5) == pytest.approx(-math.pi + 0.5)
+
+    def test_wraps_below_minus_pi(self):
+        assert wrap_angle(-math.pi - 0.5) == pytest.approx(math.pi - 0.5)
+
+    def test_large_multiple(self):
+        assert wrap_angle(7 * math.pi) == pytest.approx(math.pi)
+
+
+class TestRateLimit:
+    def test_within_rate(self):
+        assert rate_limit(0.0, 0.05, 0.1) == pytest.approx(0.05)
+
+    def test_limited_up(self):
+        assert rate_limit(0.0, 1.0, 0.1) == pytest.approx(0.1)
+
+    def test_limited_down(self):
+        assert rate_limit(0.0, -1.0, 0.1) == pytest.approx(-0.1)
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError):
+            rate_limit(0.0, 1.0, -0.1)
+
+
+class TestInterp1d:
+    def test_exact_knot(self):
+        assert interp1d(10.0, [0.0, 10.0, 20.0], [1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_midpoint(self):
+        assert interp1d(5.0, [0.0, 10.0], [0.0, 1.0]) == pytest.approx(0.5)
+
+    def test_clamps_left(self):
+        assert interp1d(-5.0, [0.0, 10.0], [1.0, 2.0]) == 1.0
+
+    def test_clamps_right(self):
+        assert interp1d(25.0, [0.0, 10.0], [1.0, 2.0]) == 2.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            interp1d(1.0, [0.0, 1.0], [0.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            interp1d(1.0, [], [])
+
+
+class TestSmoothstep:
+    def test_below_edge(self):
+        assert smoothstep(0.0, 1.0, -1.0) == 0.0
+
+    def test_above_edge(self):
+        assert smoothstep(0.0, 1.0, 2.0) == 1.0
+
+    def test_midpoint(self):
+        assert smoothstep(0.0, 1.0, 0.5) == pytest.approx(0.5)
+
+    def test_monotone(self):
+        xs = [i / 20 for i in range(21)]
+        ys = [smoothstep(0.0, 1.0, x) for x in xs]
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+
+    def test_equal_edges(self):
+        assert smoothstep(1.0, 1.0, 0.5) == 0.0
+        assert smoothstep(1.0, 1.0, 1.5) == 1.0

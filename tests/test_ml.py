@@ -1,0 +1,247 @@
+"""Unit tests for the NumPy LSTM, Adam, dataset and Algorithm 1."""
+
+import numpy as np
+import pytest
+
+from repro.adas.controlsd import AdasCommand
+from repro.ml.dataset import FEATURE_NAMES, WINDOW, Trace, TraceDataset
+from repro.ml.lstm import LstmNetwork
+from repro.ml.mitigation import MitigationController, MitigationParams
+from repro.ml.optim import Adam
+from repro.ml.trainer import EXPLORED_CONFIGS, TrainedBaseline
+
+
+def tiny_net(seed=0):
+    return LstmNetwork(input_size=3, hidden_sizes=(8, 6), output_size=2, seed=seed)
+
+
+class TestLstmForward:
+    def test_output_shape(self):
+        net = tiny_net()
+        y = net.forward(np.zeros((4, 10, 3)))
+        assert y.shape == (4, 2)
+
+    def test_rejects_bad_shape(self):
+        net = tiny_net()
+        with pytest.raises(ValueError):
+            net.forward(np.zeros((4, 10, 5)))
+
+    def test_deterministic_init(self):
+        a = tiny_net(seed=1).forward(np.ones((1, 5, 3)))
+        b = tiny_net(seed=1).forward(np.ones((1, 5, 3)))
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = tiny_net(seed=1).forward(np.ones((1, 5, 3)))
+        b = tiny_net(seed=2).forward(np.ones((1, 5, 3)))
+        assert not np.allclose(a, b)
+
+    def test_predict_one(self):
+        net = tiny_net()
+        y = net.predict_one(np.zeros((10, 3)))
+        assert y.shape == (2,)
+
+
+class TestGradients:
+    def test_numerical_gradient_check(self):
+        # Finite-difference check on a few random weights.
+        rng = np.random.default_rng(0)
+        net = LstmNetwork(input_size=2, hidden_sizes=(4,), output_size=1, seed=3)
+        x = rng.normal(size=(3, 6, 2))
+        t = rng.normal(size=(3, 1))
+        _, grads = net.loss_and_grads(x, t)
+        eps = 1e-6
+        for p_idx in (0, 1, 2, 3):  # w_x, w_h, b, w_out
+            param = net.params()[p_idx]
+            flat_index = 1 % param.size
+            idx = np.unravel_index(flat_index, param.shape)
+            orig = param[idx]
+            param[idx] = orig + eps
+            loss_plus, _ = net.loss_and_grads(x, t)
+            param[idx] = orig - eps
+            loss_minus, _ = net.loss_and_grads(x, t)
+            param[idx] = orig
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            analytic = grads[p_idx][idx]
+            assert analytic == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+    def test_training_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        net = tiny_net()
+        optim = Adam(net.params(), lr=5e-3)
+        x = rng.normal(size=(32, 10, 3))
+        t = x[:, -1, :2] * 0.5  # learnable mapping
+        first, _ = net.loss_and_grads(x, t)
+        for _ in range(60):
+            loss, grads = net.loss_and_grads(x, t)
+            optim.step(grads)
+        assert loss < 0.5 * first
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        net = tiny_net()
+        x = np.random.default_rng(1).normal(size=(2, 5, 3))
+        before = net.forward(x)
+        path = str(tmp_path / "net.npz")
+        net.save(path)
+        loaded = LstmNetwork.load(path)
+        assert np.allclose(loaded.forward(x), before)
+
+    def test_baseline_save_load(self, tmp_path):
+        net = tiny_net()
+        baseline = TrainedBaseline(
+            network=net,
+            feature_mean=np.zeros(3),
+            feature_std=np.ones(3),
+            target_mean=np.zeros(2),
+            target_std=np.ones(2),
+            final_loss=0.1,
+        )
+        path = str(tmp_path / "baseline")
+        baseline.save(path)
+        loaded = TrainedBaseline.load(path)
+        x = np.random.default_rng(1).normal(size=(5, 3))
+        assert np.allclose(loaded.predict(x), baseline.predict(x))
+        assert loaded.final_loss == pytest.approx(0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w = np.array([5.0])
+        optim = Adam([w], lr=0.1)
+        for _ in range(300):
+            optim.step([2.0 * w])  # d/dw of w^2
+        assert abs(w[0]) < 0.1
+
+    def test_gradient_clipping(self):
+        w = np.array([0.0])
+        optim = Adam([w], lr=0.1, clip=1.0)
+        optim.step([np.array([1e9])])
+        assert abs(w[0]) <= 0.2
+
+    def test_length_mismatch(self):
+        optim = Adam([np.zeros(2)])
+        with pytest.raises(ValueError):
+            optim.step([])
+
+    def test_lr_validation(self):
+        with pytest.raises(ValueError):
+            Adam([np.zeros(1)], lr=0.0)
+
+
+class TestDataset:
+    def make_traces(self, steps=200):
+        rng = np.random.default_rng(0)
+        return [
+            Trace(
+                features=rng.normal(size=(steps, len(FEATURE_NAMES))),
+                targets=rng.normal(size=(steps, 2)),
+            )
+        ]
+
+    def test_window_extraction(self):
+        ds = TraceDataset(self.make_traces(), window=20, stride=10)
+        assert ds.x.shape[1] == 20
+        assert ds.x.shape[2] == len(FEATURE_NAMES)
+        assert len(ds) == ds.y.shape[0]
+
+    def test_normalisation_round_trip(self):
+        ds = TraceDataset(self.make_traces())
+        y = np.array([[1.0, -0.5]])
+        assert np.allclose(ds.denormalise_y(ds.normalise_y(y)), y)
+
+    def test_normalised_features_standardised(self):
+        ds = TraceDataset(self.make_traces(steps=2000), stride=1)
+        x = ds.normalise_x(ds.x)
+        flat = x.reshape(-1, x.shape[-1])
+        assert np.allclose(flat.mean(axis=0), 0.0, atol=0.05)
+        assert np.allclose(flat.std(axis=0), 1.0, atol=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceDataset(self.make_traces(), window=1)
+        with pytest.raises(ValueError):
+            TraceDataset(self.make_traces(), stride=0)
+        with pytest.raises(ValueError):
+            TraceDataset(self.make_traces(steps=5), window=20)
+
+    def test_paper_window_constant(self):
+        assert WINDOW == 20  # 0.2 s at 100 Hz
+
+    def test_explored_configs_match_paper(self):
+        assert (128, 64) in EXPLORED_CONFIGS  # the paper's best
+        assert len(EXPLORED_CONFIGS) == 6
+
+
+class _ConstantBaseline:
+    """Predicts a fixed output regardless of input (test double)."""
+
+    def __init__(self, accel, steer):
+        self._y = np.array([accel, steer])
+
+    def predict(self, window):
+        return self._y.copy()
+
+
+class TestAlgorithm1:
+    def make(self, accel=-2.0, steer=0.0, **kwargs):
+        params = MitigationParams(**kwargs) if kwargs else MitigationParams()
+        return MitigationController(_ConstantBaseline(accel, steer), params)
+
+    def feed(self, controller, y_op, steps):
+        features = [20.0, 50.0, 0.9, 0.9, 0.0, 0.0]
+        out = (AdasCommand(0.0, 0.0), False)
+        for _ in range(steps):
+            out = controller.step(features, y_op, 0.01)
+        return out
+
+    def test_no_detection_before_window_filled(self):
+        ctl = self.make()
+        cmd, recovery = self.feed(ctl, AdasCommand(2.0, 0.0), WINDOW - 1)
+        assert not recovery
+        assert ctl.cusum == 0.0
+
+    def test_cusum_accumulates_under_divergence(self):
+        ctl = self.make(accel=-2.0, tau=3.0, bias=0.35)
+        self.feed(ctl, AdasCommand(2.0, 0.0), WINDOW + 1)
+        assert ctl.cusum > 0.0
+
+    def test_recovery_activates_above_tau(self):
+        ctl = self.make(accel=-2.0, tau=3.0)
+        cmd, recovery = self.feed(ctl, AdasCommand(2.0, 0.0), WINDOW + 5)
+        assert recovery
+        assert cmd.accel == pytest.approx(-2.0)
+        assert ctl.activations == 1
+
+    def test_no_accumulation_when_agreeing(self):
+        ctl = self.make(accel=1.0)
+        _, recovery = self.feed(ctl, AdasCommand(1.0, 0.0), WINDOW + 50)
+        assert not recovery
+        assert ctl.cusum == 0.0  # bias drains residual noise (line 2)
+
+    def test_recovery_exits_on_reconvergence_and_resets(self):
+        ctl = self.make(accel=-2.0, tau=3.0)
+        self.feed(ctl, AdasCommand(2.0, 0.0), WINDOW + 5)
+        assert ctl.recovery
+        _, recovery = self.feed(ctl, AdasCommand(-2.0, 0.0), 2)
+        assert not recovery
+        assert ctl.cusum == 0.0  # Algorithm 1 line 16
+
+    def test_output_clamped_to_envelope(self):
+        ctl = self.make(accel=-50.0, tau=0.1)
+        cmd, recovery = self.feed(ctl, AdasCommand(2.0, 0.0), WINDOW + 5)
+        assert recovery
+        assert cmd.accel == ctl.params.min_accel
+
+    def test_feature_length_validation(self):
+        ctl = self.make()
+        with pytest.raises(ValueError):
+            ctl.step([1.0, 2.0], AdasCommand(0.0, 0.0), 0.01)
+
+    def test_reset(self):
+        ctl = self.make(accel=-2.0, tau=3.0)
+        self.feed(ctl, AdasCommand(2.0, 0.0), WINDOW + 5)
+        ctl.reset()
+        assert ctl.cusum == 0.0
+        assert not ctl.recovery

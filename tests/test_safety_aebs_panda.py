@@ -1,0 +1,190 @@
+"""Unit tests for the AEBS (paper Eqs. 1-4, Table I) and the PANDA checker."""
+
+import math
+
+import pytest
+
+from repro.adas.controlsd import AdasCommand
+from repro.safety.aebs import Aebs, AebsConfig, AebsParams
+from repro.safety.panda import SafetyChecker, SafetyCheckerParams
+from repro.utils.units import G
+
+DT = 0.01
+
+
+class TestThresholds:
+    def test_equation_2_and_3(self):
+        # t_fcw = T_react + V / a_driver with a_driver = 4.9 reproduces the
+        # paper's reported min t_fcw values (e.g. S1: 2.5 + 9.6/4.9 = 4.46).
+        aebs = Aebs(AebsConfig.INDEPENDENT)
+        t_fcw, _, _, _ = aebs.thresholds(9.6)
+        assert t_fcw == pytest.approx(2.5 + 9.6 / 4.9, abs=1e-9)
+
+    def test_equation_4_divisors(self):
+        aebs = Aebs(AebsConfig.INDEPENDENT)
+        v = 22.35
+        _, t_pb1, t_pb2, t_fb = aebs.thresholds(v)
+        assert t_pb1 == pytest.approx(v / 3.8)
+        assert t_pb2 == pytest.approx(v / 5.8)
+        assert t_fb == pytest.approx(v / 9.8)
+
+    def test_threshold_ordering(self):
+        aebs = Aebs(AebsConfig.INDEPENDENT)
+        t_fcw, t_pb1, t_pb2, t_fb = aebs.thresholds(20.0)
+        assert t_fcw > t_pb1 > t_pb2 > t_fb > 0
+
+
+class TestTableIPhases:
+    def make(self):
+        return Aebs(AebsConfig.INDEPENDENT)
+
+    def test_phase1_90_percent(self):
+        aebs = self.make()
+        v = 20.0
+        ttc_target = v / 3.8 * 0.95
+        state = aebs.update(v, True, rd=ttc_target * 10.0, rs=10.0, dt=DT)
+        assert state.phase == 1
+        assert state.brake_accel == pytest.approx(-0.90 * G)
+
+    def test_phase2_95_percent(self):
+        aebs = self.make()
+        v = 20.0
+        ttc_target = v / 5.8 * 0.95
+        state = aebs.update(v, True, rd=ttc_target * 10.0, rs=10.0, dt=DT)
+        assert state.phase == 2
+        assert state.brake_accel == pytest.approx(-0.95 * G)
+
+    def test_phase3_full_braking(self):
+        aebs = self.make()
+        v = 20.0
+        ttc_target = v / 9.8 * 0.9
+        state = aebs.update(v, True, rd=ttc_target * 10.0, rs=10.0, dt=DT)
+        assert state.phase == 3
+        assert state.brake_accel == pytest.approx(-G)
+
+    def test_fcw_before_braking(self):
+        aebs = self.make()
+        v = 20.0
+        # TTC between t_pb1 and t_fcw: warning only.
+        ttc = (v / 3.8 + 2.5 + v / 4.9) / 2
+        state = aebs.update(v, True, rd=ttc * 10.0, rs=10.0, dt=DT)
+        assert state.fcw
+        assert state.phase == 0
+
+    def test_no_threat_no_action(self):
+        aebs = self.make()
+        state = aebs.update(20.0, True, rd=200.0, rs=5.0, dt=DT)
+        assert not state.fcw
+        assert state.phase == 0
+        assert state.ttc == pytest.approx(40.0)
+
+
+class TestConfigs:
+    def test_disabled_never_brakes_but_warns(self):
+        aebs = Aebs(AebsConfig.DISABLED)
+        state = aebs.update(20.0, True, rd=5.0, rs=10.0, dt=DT)
+        assert state.fcw
+        assert state.phase == 0
+        assert state.brake_accel == 0.0
+
+    def test_inhibited_below_min_speed(self):
+        aebs = Aebs(AebsConfig.INDEPENDENT)
+        state = aebs.update(0.2, True, rd=1.0, rs=1.0, dt=DT)
+        assert state.phase == 0
+
+    def test_no_trigger_when_opening(self):
+        aebs = Aebs(AebsConfig.INDEPENDENT)
+        state = aebs.update(20.0, True, rd=10.0, rs=-2.0, dt=DT)
+        assert state.phase == 0
+        assert math.isinf(state.ttc)
+
+
+class TestLatchBehaviour:
+    def test_escalation_while_threat_grows(self):
+        aebs = Aebs(AebsConfig.INDEPENDENT)
+        v = 20.0
+        aebs.update(v, True, rd=v / 3.8 * 10.0 * 0.95, rs=10.0, dt=DT)
+        state = aebs.update(v, True, rd=v / 9.8 * 10.0 * 0.9, rs=10.0, dt=DT)
+        assert state.phase == 3
+
+    def test_no_deescalation_mid_manoeuvre(self):
+        aebs = Aebs(AebsConfig.INDEPENDENT)
+        v = 20.0
+        aebs.update(v, True, rd=v / 9.8 * 10.0 * 0.9, rs=10.0, dt=DT)
+        state = aebs.update(v, True, rd=v / 3.8 * 10.0 * 0.99, rs=10.0, dt=DT)
+        assert state.phase == 3  # stays at full braking
+
+    def test_release_requires_sustained_recovery(self):
+        aebs = Aebs(AebsConfig.INDEPENDENT, AebsParams(release_sustain=0.5))
+        v = 20.0
+        aebs.update(v, True, rd=40.0, rs=10.0, dt=DT)  # engage
+        assert aebs.update(v, True, rd=200.0, rs=1.0, dt=DT).phase > 0
+        for _ in range(60):  # 0.6 s of clear recovery
+            state = aebs.update(v, True, rd=200.0, rs=1.0, dt=DT)
+        assert state.phase == 0
+
+    def test_standstill_hold_with_obstacle(self):
+        aebs = Aebs(AebsConfig.INDEPENDENT)
+        aebs.update(20.0, True, rd=20.0, rs=10.0, dt=DT)  # engage
+        # Stopped with a stopped obstacle 1 m ahead: hold forever.
+        for _ in range(1000):
+            state = aebs.update(0.0, True, rd=1.0, rs=0.0, dt=DT)
+        assert state.phase > 0
+
+    def test_standstill_release_when_clear(self):
+        aebs = Aebs(AebsConfig.INDEPENDENT, AebsParams(standstill_hold=0.2))
+        aebs.update(20.0, True, rd=20.0, rs=10.0, dt=DT)
+        for _ in range(100):  # 1 s stopped, lead departed
+            state = aebs.update(0.0, True, rd=30.0, rs=-5.0, dt=DT)
+        assert state.phase == 0
+
+    def test_reset(self):
+        aebs = Aebs(AebsConfig.INDEPENDENT)
+        aebs.update(20.0, True, rd=20.0, rs=10.0, dt=DT)
+        aebs.reset()
+        state = aebs.update(20.0, True, rd=200.0, rs=1.0, dt=DT)
+        assert state.phase == 0
+
+
+class TestSafetyChecker:
+    def test_clamps_acceleration_to_iso_envelope(self):
+        checker = SafetyChecker()
+        out = checker.check(AdasCommand(accel=5.0, steer=0.0), DT)
+        assert out.accel == 2.0
+        out = checker.check(AdasCommand(accel=-9.0, steer=0.0), DT)
+        assert out.accel == -3.5
+
+    def test_blocks_panic_braking(self):
+        # The conservative ISO 22179 design: the checker caps even
+        # legitimate panic braking (the paper's design tension).
+        checker = SafetyChecker()
+        out = checker.check(AdasCommand(accel=-9.0, steer=0.0), DT)
+        assert out.accel == pytest.approx(-3.5)
+
+    def test_passes_safe_commands(self):
+        checker = SafetyChecker()
+        out = checker.check(AdasCommand(accel=1.0, steer=0.01), DT)
+        assert out.accel == 1.0
+
+    def test_steering_rate_limit(self):
+        checker = SafetyChecker(SafetyCheckerParams(max_steer_rate=0.1))
+        out = checker.check(AdasCommand(accel=0.0, steer=0.4), DT)
+        assert out.steer == pytest.approx(0.1 * DT)
+
+    def test_counts_blocked_commands(self):
+        checker = SafetyChecker()
+        checker.check(AdasCommand(accel=-9.0, steer=0.0), DT)
+        checker.check(AdasCommand(accel=0.0, steer=0.0), DT)
+        assert checker.blocked_accel_count == 1
+
+    def test_reset_clears_state(self):
+        checker = SafetyChecker()
+        checker.check(AdasCommand(accel=-9.0, steer=0.4), DT)
+        checker.reset()
+        assert checker.blocked_accel_count == 0
+        out = checker.check(AdasCommand(accel=0.0, steer=0.0), DT)
+        assert out.steer == 0.0
+
+    def test_dt_validation(self):
+        with pytest.raises(ValueError):
+            SafetyChecker().check(AdasCommand(0.0, 0.0), 0.0)

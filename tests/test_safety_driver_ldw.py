@@ -1,0 +1,213 @@
+"""Unit tests for the driver reaction simulator (Table II) and LDW."""
+
+import pytest
+
+from repro.safety.driver import DriverModel, DriverParams, DriverView
+from repro.safety.ldw import LaneDepartureWarning, LdwParams
+
+DT = 0.01
+
+
+def view(
+    time=0.0,
+    ego_speed=20.0,
+    ego_accel=0.0,
+    gap=50.0,
+    closing=0.0,
+    cut_in=False,
+    dist_right=0.9,
+    dist_left=0.9,
+    lateral_offset=0.0,
+    rel_heading=0.0,
+    fcw=False,
+    ldw=False,
+    aeb_active=False,
+):
+    return DriverView(
+        time=time,
+        ego_speed=ego_speed,
+        ego_accel=ego_accel,
+        gap=gap,
+        closing=closing,
+        cut_in=cut_in,
+        dist_right=dist_right,
+        dist_left=dist_left,
+        lateral_offset=lateral_offset,
+        rel_heading=rel_heading,
+        fcw=fcw,
+        ldw=ldw,
+        aeb_active=aeb_active,
+    )
+
+
+def drive(driver, seconds, **kwargs):
+    """Tick the driver with a constant view; returns the last action."""
+    action = None
+    base = kwargs.pop("start", 0.0)
+    steps = int(seconds / DT)
+    for i in range(steps):
+        action = driver.update(view(time=base + i * DT, **kwargs))
+    return action
+
+
+class TestBrakeReactions:
+    def test_fcw_triggers_brake_after_reaction_time(self):
+        driver = DriverModel(DriverParams(reaction_time=1.0))
+        action = drive(driver, 0.9, fcw=True)
+        assert not action.brake_active
+        action = drive(driver, 0.3, fcw=True, start=0.9)
+        assert action.brake_active
+        assert action.brake_reason == "fcw"
+
+    def test_brake_ramps_to_peak(self):
+        driver = DriverModel(DriverParams(reaction_time=0.2, brake_peak=6.5))
+        action = drive(driver, 2.0, fcw=True)
+        assert action.brake_accel == pytest.approx(-6.5)
+
+    def test_visual_ttc_trigger(self):
+        driver = DriverModel(DriverParams(reaction_time=0.2))
+        action = drive(driver, 0.5, gap=20.0, closing=10.0)  # ttc = 2 s
+        assert action.brake_active
+        assert action.brake_reason == "visual_ttc"
+
+    def test_overspeed_trigger(self):
+        driver = DriverModel(DriverParams(reaction_time=0.2))
+        action = drive(driver, 0.5, ego_speed=26.0, gap=None)
+        assert action.brake_active
+        assert action.brake_reason == "overspeed"
+
+    def test_unsafe_distance_trigger(self):
+        driver = DriverModel(DriverParams(reaction_time=0.2))
+        action = drive(driver, 0.5, gap=3.0, closing=0.0)
+        assert action.brake_active
+        assert action.brake_reason == "unsafe_distance"
+
+    def test_unexpected_acceleration_trigger(self):
+        driver = DriverModel(DriverParams(reaction_time=0.2))
+        action = drive(driver, 0.5, gap=15.0, closing=1.0, ego_accel=1.5)
+        assert action.brake_active
+        assert action.brake_reason == "unexpected_accel"
+
+    def test_cut_in_trigger(self):
+        driver = DriverModel(DriverParams(reaction_time=0.2))
+        action = drive(driver, 0.5, cut_in=True)
+        assert action.brake_active
+        assert action.brake_reason == "cut_in"
+
+    def test_cancelled_if_hazard_evaporates(self):
+        driver = DriverModel(DriverParams(reaction_time=1.5, cancel_window=0.3))
+        drive(driver, 0.3, fcw=True)
+        action = drive(driver, 1.5, fcw=False, start=0.3)  # clears before execution
+        assert not action.brake_active
+
+    def test_no_trigger_in_nominal_driving(self):
+        driver = DriverModel()
+        action = drive(driver, 3.0, gap=40.0, closing=1.0)
+        assert not action.brake_active
+        assert not action.steer_active
+
+    def test_brake_holds_until_visibly_safe(self):
+        driver = DriverModel(DriverParams(reaction_time=0.2))
+        drive(driver, 1.0, fcw=True, gap=10.0)
+        # FCW gone but the gap is still tight: keep braking.
+        action = drive(driver, 2.0, fcw=False, gap=8.0, ego_speed=5.0, start=1.0)
+        assert action.brake_active
+
+    def test_brake_releases_when_gap_opens(self):
+        driver = DriverModel(DriverParams(reaction_time=0.2))
+        drive(driver, 1.0, fcw=True, gap=10.0)
+        action = drive(driver, 3.0, fcw=False, gap=60.0, ego_speed=5.0, start=1.0)
+        assert not action.brake_active
+
+
+class TestSteerReactions:
+    def test_ldw_triggers_steering(self):
+        driver = DriverModel(DriverParams(reaction_time=0.2))
+        action = drive(driver, 0.6, ldw=True, lateral_offset=0.8)
+        assert action.steer_active
+        assert action.steer_reason == "ldw"
+
+    def test_lane_distance_triggers_steering(self):
+        driver = DriverModel(DriverParams(reaction_time=0.2))
+        action = drive(driver, 0.6, dist_left=0.3, lateral_offset=0.6)
+        assert action.steer_active
+        assert action.steer_reason == "lane_distance"
+
+    def test_steer_command_opposes_offset(self):
+        driver = DriverModel(DriverParams(reaction_time=0.2))
+        action = drive(driver, 0.6, ldw=True, lateral_offset=1.0)
+        assert action.steer_angle < 0.0  # steer right, back to centre
+
+    def test_takeover_persists_minimum_duration(self):
+        driver = DriverModel(
+            DriverParams(reaction_time=0.2, steer_hold_min=2.0, steer_release_hold=0.2)
+        )
+        drive(driver, 0.6, ldw=True, lateral_offset=0.8)
+        # centred almost immediately, but the hold keeps the takeover alive
+        action = drive(driver, 1.0, lateral_offset=0.0, start=0.6)
+        assert action.steer_active
+
+    def test_takeover_eventually_releases(self):
+        driver = DriverModel(
+            DriverParams(reaction_time=0.2, steer_hold_min=0.5, steer_release_hold=0.2)
+        )
+        drive(driver, 0.6, ldw=True, lateral_offset=0.8)
+        action = drive(driver, 2.0, lateral_offset=0.0, start=0.6)
+        assert not action.steer_active
+
+
+class TestDeferenceAndAlerting:
+    def test_defers_to_active_aeb(self):
+        driver = DriverModel(DriverParams(reaction_time=0.2))
+        action = drive(driver, 1.0, fcw=True, aeb_active=True)
+        assert not action.brake_active
+
+    def test_reacts_after_aeb_releases(self):
+        driver = DriverModel(DriverParams(reaction_time=0.2))
+        drive(driver, 0.5, fcw=True, aeb_active=True)
+        action = drive(driver, 0.5, fcw=True, aeb_active=False, start=0.5)
+        assert action.brake_active
+
+    def test_alerted_driver_reacts_faster(self):
+        params = DriverParams(reaction_time=2.0, alerted_factor=0.5, alerted_floor=0.5)
+        driver = DriverModel(params)
+        initial = driver.effective_reaction_time
+        drive(driver, 2.5, fcw=True)  # first reaction executes
+        assert driver.effective_reaction_time == pytest.approx(initial * 0.5)
+
+    def test_alerted_floor_respected(self):
+        params = DriverParams(reaction_time=1.0, alerted_factor=0.1, alerted_floor=0.9)
+        driver = DriverModel(params)
+        drive(driver, 1.5, fcw=True)
+        assert driver.effective_reaction_time >= 0.9
+
+    def test_reaction_jitter_from_streams(self):
+        from repro.utils.rng import RngStreams
+
+        a = DriverModel(streams=RngStreams(1))
+        b = DriverModel(streams=RngStreams(2))
+        assert a.effective_reaction_time != b.effective_reaction_time
+
+
+class TestLdw:
+    def test_warns_near_line(self):
+        ldw = LaneDepartureWarning()
+        assert ldw.update(0.2, 1.5, 0.0, 20.0)
+
+    def test_warns_on_predicted_crossing(self):
+        ldw = LaneDepartureWarning(LdwParams(time_to_crossing=1.0))
+        # 0.6 m to the left line, drifting left at 0.8 m/s -> 0.75 s.
+        assert ldw.update(1.5, 0.6, 0.8, 20.0)
+
+    def test_quiet_when_centred(self):
+        ldw = LaneDepartureWarning()
+        assert not ldw.update(0.9, 0.9, 0.0, 20.0)
+
+    def test_inhibited_at_low_speed(self):
+        ldw = LaneDepartureWarning()
+        assert not ldw.update(0.1, 1.5, 0.0, 1.0)
+
+    def test_drift_away_from_near_line_still_warns_on_distance(self):
+        ldw = LaneDepartureWarning()
+        # close to the right line but drifting left: distance rule fires
+        assert ldw.update(0.2, 1.5, 0.5, 20.0)

@@ -1,0 +1,117 @@
+"""Additional simulator coverage: Frenet consistency, curves, collisions."""
+
+import math
+
+import pytest
+
+from repro.sim.road import Road, RoadSegment
+from repro.sim.track import build_highway_map
+from repro.sim.vehicle import EgoVehicle
+from repro.sim.world import World
+
+DT = 0.01
+
+
+class TestFrenetOnCurves:
+    def test_matched_curvature_keeps_lane(self):
+        """Steering exactly for the road curvature holds d ~ 0."""
+        road = Road([RoadSegment(2000.0, 1.0 / 300.0)])
+        ego = EgoVehicle(road, s=0.0, d=0.0, speed=20.0)
+        steer = math.atan(ego.params.wheelbase / 300.0)
+        ego.apply_controls(0.3, steer)
+        ego.steer = steer  # pre-steered into the curve
+        for _ in range(1500):
+            ego.step(DT)
+        assert abs(ego.d) < 0.25
+        assert abs(ego.psi) < 0.05
+
+    def test_no_steering_on_curve_drifts_outward(self):
+        road = Road([RoadSegment(2000.0, 1.0 / 300.0)])  # left curve
+        ego = EgoVehicle(road, s=0.0, d=0.0, speed=20.0)
+        ego.apply_controls(0.0, 0.0)
+        for _ in range(300):
+            ego.step(DT)
+        assert ego.d < -0.3  # tangential travel = drift to the right
+
+    def test_arc_length_progress_on_curve(self):
+        road = Road([RoadSegment(2000.0, 1.0 / 300.0)])
+        ego = EgoVehicle(road, s=0.0, d=0.0, speed=20.0)
+        steer = math.atan(ego.params.wheelbase / 300.0)
+        ego.apply_controls(0.0, steer)
+        ego.steer = steer
+        for _ in range(500):
+            ego.step(DT)
+        # 5 s at 20 m/s with matched curvature: s advances ~100 m.
+        assert ego.s == pytest.approx(100.0, abs=4.0)
+
+    def test_inner_offset_speeds_arc_progress(self):
+        # With d < 0 on a left curve (outside), 1 - d*k > 1 so s_dot < v.
+        road = Road([RoadSegment(2000.0, 1.0 / 300.0)])
+        inner = EgoVehicle(road, s=0.0, d=1.0, speed=20.0)
+        outer = EgoVehicle(road, s=0.0, d=-1.0, speed=20.0)
+        for veh in (inner, outer):
+            veh.apply_controls(0.0, math.atan(veh.params.wheelbase / 300.0))
+            veh.steer = math.atan(veh.params.wheelbase / 300.0)
+            for _ in range(200):
+                veh.step(DT)
+        assert inner.s > outer.s
+
+
+class TestHighwayMapDriving:
+    def test_full_map_traverse_with_matched_steering(self):
+        """Driving the whole evaluation map with per-step curvature-matched
+        steering stays within a lane width of centre."""
+        road = build_highway_map()
+        ego = EgoVehicle(road, s=10.0, d=0.0, speed=22.0)
+        max_offset = 0.0
+        for _ in range(12_000):
+            k = road.curvature_at(ego.s + 15.0)
+            steer_ff = math.atan(ego.params.wheelbase * k)
+            correction = -0.02 * ego.d - 0.4 * ego.psi
+            ego.apply_controls(0.2, steer_ff + correction)
+            ego.step(DT)
+            max_offset = max(max_offset, abs(ego.d))
+        assert ego.s > 2500.0
+        assert max_offset < 1.0
+
+
+class TestCollisionGeometry:
+    def test_no_collision_without_overlap(self):
+        road = build_highway_map()
+        ego = EgoVehicle(road, s=100.0, d=0.0, speed=0.0)
+        world = World(road, ego)
+        from repro.sim.agents import AgentBinding
+        from repro.sim.vehicle import KinematicActor
+
+        near_miss = KinematicActor(road, s=100.0, d=1.9, speed=0.0, name="n")
+        world.add_agent(AgentBinding(near_miss, None))
+        world.step(DT)
+        assert world.collision is None  # 1.9 m > 1.85 m body overlap bound
+
+    def test_collision_with_overlap(self):
+        road = build_highway_map()
+        ego = EgoVehicle(road, s=100.0, d=0.0, speed=0.0)
+        world = World(road, ego)
+        from repro.sim.agents import AgentBinding
+        from repro.sim.vehicle import KinematicActor
+
+        brushing = KinematicActor(road, s=102.0, d=1.5, speed=0.0, name="b")
+        world.add_agent(AgentBinding(brushing, None))
+        world.step(DT)
+        assert world.collision is not None
+        assert world.collision.lateral
+
+    def test_collision_latched_once(self):
+        road = build_highway_map()
+        ego = EgoVehicle(road, s=100.0, d=0.0, speed=5.0)
+        world = World(road, ego)
+        from repro.sim.agents import AgentBinding
+        from repro.sim.vehicle import KinematicActor
+
+        wall = KinematicActor(road, s=104.0, d=0.0, speed=0.0, name="wall")
+        world.add_agent(AgentBinding(wall, None))
+        for _ in range(200):
+            world.step(DT)
+        first = world.collision
+        world.step(DT)
+        assert world.collision is first

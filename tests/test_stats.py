@@ -1,0 +1,82 @@
+"""Unit tests for repro.analysis.stats."""
+
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_mean,
+    rate_difference_significant,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(7, 10)
+        assert lo < 0.7 < hi
+
+    def test_bounds_in_unit_interval(self):
+        for successes in (0, 5, 10):
+            lo, hi = wilson_interval(successes, 10)
+            assert 0.0 <= lo <= hi <= 1.0
+
+    def test_zero_successes_lower_bound_zero(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0
+        assert hi > 0.0  # Wilson does not collapse at the extremes
+
+    def test_all_successes_upper_bound_one(self):
+        lo, hi = wilson_interval(10, 10)
+        assert hi == 1.0
+        assert lo < 1.0
+
+    def test_narrower_with_more_trials(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(50, 100)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_higher_confidence_wider(self):
+        lo1, hi1 = wilson_interval(5, 10, confidence=0.90)
+        lo2, hi2 = wilson_interval(5, 10, confidence=0.99)
+        assert (hi2 - lo2) > (hi1 - lo1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=1.5)
+
+
+class TestRateDifference:
+    def test_clear_difference_significant(self):
+        assert rate_difference_significant(95, 100, 10, 100)
+
+    def test_identical_rates_not_significant(self):
+        assert not rate_difference_significant(50, 100, 50, 100)
+
+    def test_small_samples_not_significant(self):
+        # 2/3 vs 1/3 is noise at n=3.
+        assert not rate_difference_significant(2, 3, 1, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rate_difference_significant(1, 0, 1, 2)
+
+
+class TestBootstrap:
+    def test_contains_sample_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        lo, hi = bootstrap_mean(values, seed=1)
+        assert lo <= 3.0 <= hi
+
+    def test_empty_returns_none(self):
+        assert bootstrap_mean([]) is None
+
+    def test_deterministic_with_seed(self):
+        values = [1.0, 5.0, 2.0, 8.0]
+        assert bootstrap_mean(values, seed=3) == bootstrap_mean(values, seed=3)
+
+    def test_single_value_degenerate(self):
+        lo, hi = bootstrap_mean([2.5])
+        assert lo == hi == 2.5
