@@ -12,10 +12,29 @@ import os
 
 
 def repetitions(default: int = 2) -> int:
-    """Campaign repetitions per grid cell for this run."""
+    """Campaign repetitions per grid cell for this run.
+
+    Raises:
+        ValueError: on a malformed or non-positive ``REPRO_REPS``.
+    """
     if os.environ.get("REPRO_FULL") == "1":
         return 10
-    return int(os.environ.get("REPRO_REPS", default))
+    raw = os.environ.get("REPRO_REPS")
+    if raw is None:
+        return default
+    try:
+        reps = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_REPS must be a positive integer (campaign repetitions "
+            f"per grid cell), got {raw!r}"
+        ) from None
+    if reps < 1:
+        raise ValueError(
+            f"REPRO_REPS must be >= 1 (campaign repetitions per grid cell), "
+            f"got {reps}"
+        )
+    return reps
 
 
 def run_once(benchmark, fn):

@@ -31,12 +31,17 @@ from repro.attacks import (
 )
 from repro.core import (
     AccidentType,
+    CampaignExecutor,
     CampaignResult,
     EpisodeResult,
+    ParallelExecutor,
+    SerialExecutor,
     SimulationPlatform,
     aggregate,
+    load_results,
     run_campaign,
     run_episode,
+    save_results,
 )
 from repro.safety import AebsConfig, InterventionConfig
 from repro.sim import SCENARIO_IDS, FRICTION_CONDITIONS, ScenarioConfig, build_scenario
@@ -50,12 +55,17 @@ __all__ = [
     "FaultType",
     "enumerate_campaign",
     "AccidentType",
+    "CampaignExecutor",
     "CampaignResult",
     "EpisodeResult",
+    "ParallelExecutor",
+    "SerialExecutor",
     "SimulationPlatform",
     "aggregate",
+    "load_results",
     "run_campaign",
     "run_episode",
+    "save_results",
     "AebsConfig",
     "InterventionConfig",
     "SCENARIO_IDS",

@@ -7,6 +7,7 @@ output (and is captured into ``bench_output.txt``).
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence
 
 
@@ -44,6 +45,10 @@ def _fmt(cell: object) -> str:
     if cell is None:
         return "-"
     if isinstance(cell, float):
+        # Undefined measurements (inf sentinels, NaN) must never render as
+        # "inf"/"nan" in a paper table — they mean "no defined value".
+        if not math.isfinite(cell):
+            return "-"
         return f"{cell:.2f}"
     return str(cell)
 

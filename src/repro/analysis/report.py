@@ -44,6 +44,9 @@ class ReportConfig:
         include_ml: include the ML baseline row (requires/uses the cached
             LSTM; training is triggered if no cache exists).
         reaction_times: Table VII sweep points.
+        jobs: worker processes per campaign (None defers to the
+            ``REPRO_JOBS`` environment variable, then serial); results are
+            bit-identical across worker counts.
         log: progress sink (e.g. ``print``).
     """
 
@@ -51,6 +54,7 @@ class ReportConfig:
     seed: int = 2025
     include_ml: bool = False
     reaction_times: tuple = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5)
+    jobs: Optional[int] = None
     log: Optional[Callable[[str], None]] = None
 
     def _say(self, message: str) -> None:
@@ -96,6 +100,7 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
             seed=config.seed,
         ),
         InterventionConfig(),
+        jobs=config.jobs,
     )
     sections += ["```", render_table4(table4_driving_performance(benign)), "```", ""]
     sections += ["```", render_table5(table5_lane_distance(benign)), "```", ""]
@@ -125,7 +130,7 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
     rows = []
     for cfg in TABLE6_CONFIGS:
         config._say(f"running Table VI campaign: {cfg.label()} ...")
-        campaign = run_campaign(spec, cfg)
+        campaign = run_campaign(spec, cfg, jobs=config.jobs)
         for fault, results in sorted(group_by(campaign.results, "fault_type").items()):
             rows.append(table6_row(results, cfg.label()))
     if config.include_ml:
@@ -133,10 +138,13 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
         from repro.ml import MitigationController, TrainerConfig, load_or_train_cached
 
         baseline = load_or_train_cached(TrainerConfig())
+        # Note: a lambda factory cannot cross the process boundary; the
+        # executor detects this and runs the ML campaign in-process.
         campaign = run_campaign(
             spec,
             InterventionConfig(ml=True, name="ml"),
             ml_factory=lambda: MitigationController(baseline),
+            jobs=config.jobs,
         )
         for fault, results in sorted(group_by(campaign.results, "fault_type").items()):
             rows.append(table6_row(results, "ml"))
@@ -148,7 +156,9 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
     for rt in config.reaction_times:
         config._say(f"running Table VII sweep: reaction time {rt} s ...")
         sweeps[rt] = run_campaign(
-            spec, InterventionConfig(driver=True, driver_reaction_time=rt)
+            spec,
+            InterventionConfig(driver=True, driver_reaction_time=rt),
+            jobs=config.jobs,
         )
     sections += ["```", render_table7(table7_reaction_sweep(sweeps)), "```", ""]
 
@@ -167,6 +177,7 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
                 friction=condition,
             ),
             cfg8,
+            jobs=config.jobs,
         )
     sections += ["```", render_table8(table8_friction_sweep(friction_sweeps)), "```", ""]
 

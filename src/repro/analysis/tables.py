@@ -8,6 +8,7 @@ table so side-by-side comparison is direct.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,8 +33,8 @@ class Table4Row:
     episodes: int
     following_distance: Optional[float]
     hardest_brake_pct: float
-    min_ttc: float
-    min_tfcw: float
+    min_ttc: Optional[float]
+    min_tfcw: Optional[float]
 
 
 def table4_driving_performance(campaign: CampaignResult) -> List[Table4Row]:
@@ -85,21 +86,28 @@ def render_table4(rows: Sequence[Table4Row]) -> str:
 # --------------------------------------------------------------------- #
 
 
-def table5_lane_distance(campaign: CampaignResult) -> Dict[str, float]:
-    """Reproduce Table V: per-scenario minimal lane-line distance [m]."""
-    groups = group_by(campaign.results, "scenario_id")
+def table5_lane_distance(campaign: CampaignResult) -> Dict[str, Optional[float]]:
+    """Reproduce Table V: per-scenario minimal lane-line distance [m].
+
+    ``None`` marks scenarios whose episodes never produced a defined
+    minimum (the ``inf`` accumulation sentinel never leaks out).
+    """
+    def scenario_min(results: Sequence[EpisodeResult]) -> Optional[float]:
+        value = min(r.min_lane_distance for r in results)
+        return value if math.isfinite(value) else None
+
     return {
-        sid: min(r.min_lane_distance for r in results)
-        for sid, results in sorted(groups.items())
+        sid: scenario_min(results)
+        for sid, results in sorted(group_by(campaign.results, "scenario_id").items())
     }
 
 
-def render_table5(distances: Dict[str, float]) -> str:
-    """Plain-text Table V."""
+def render_table5(distances: Dict[str, Optional[float]]) -> str:
+    """Plain-text Table V (undefined minima render as ``-``)."""
     sids = [s for s in SCENARIO_IDS if s in distances]
     return format_table(
         ["Scenario"] + sids,
-        [["Distance to Lane Lines (m)"] + [f"{distances[s]:.2f}" for s in sids]],
+        [["Distance to Lane Lines (m)"] + [distances[s] for s in sids]],
         title="Table V: Minimal distance to lane lines",
     )
 

@@ -77,9 +77,37 @@ class CampaignSpec:
     def __post_init__(self) -> None:
         if self.repetitions < 1:
             raise ValueError(f"repetitions must be >= 1, got {self.repetitions}")
+        if not self.fault_types:
+            raise ValueError("fault_types must not be empty (use FaultType.NONE "
+                             "for a fault-free campaign)")
+        if not self.scenario_ids:
+            raise ValueError("scenario_ids must not be empty")
+        if not self.initial_gaps:
+            raise ValueError("initial_gaps must not be empty")
+        if len(set(self.fault_types)) != len(self.fault_types):
+            raise ValueError(
+                f"duplicate fault_types {[f.value for f in self.fault_types]}: "
+                "duplicates would run identical episodes twice and skew "
+                "aggregated rates"
+            )
+        if len(set(self.scenario_ids)) != len(self.scenario_ids):
+            raise ValueError(
+                f"duplicate scenario_ids {list(self.scenario_ids)}: duplicates "
+                "would run identical episodes twice and skew aggregated rates"
+            )
+        if len(set(self.initial_gaps)) != len(self.initial_gaps):
+            raise ValueError(
+                f"duplicate initial_gaps {list(self.initial_gaps)}: duplicates "
+                "would run identical episodes twice and skew aggregated rates"
+            )
         for sid in self.scenario_ids:
             if sid not in SCENARIO_IDS:
                 raise ValueError(f"unknown scenario {sid!r}")
+        for gap in self.initial_gaps:
+            if gap <= 0.0:
+                raise ValueError(
+                    f"initial_gaps must be positive bumper gaps [m], got {gap}"
+                )
 
 
 def enumerate_campaign(spec: CampaignSpec) -> List[EpisodeSpec]:

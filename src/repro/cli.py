@@ -11,11 +11,29 @@ Commands:
   export CSV).
 * ``report``    — run everything and write a markdown report.
 * ``train-ml``  — train (and cache) the LSTM baseline.
+
+Parallel execution
+------------------
+
+Every campaign command (``episode``, ``table4``, ``table6``, ``table7``,
+``table8``, ``report``) accepts ``--jobs N`` to fan episodes out over ``N``
+worker processes (see :mod:`repro.core.executor`).  Results are bit-identical
+to a serial run — episode seeds are order-independent and results are
+reassembled in enumeration order — so ``--jobs`` only changes wall-clock
+time.  When the flag is omitted the ``REPRO_JOBS`` environment variable
+supplies the default (then 1).
+
+Environment variables:
+
+* ``REPRO_JOBS`` — default worker process count for campaigns.
+* ``REPRO_REPS`` / ``REPRO_FULL`` — repetitions per grid cell for the
+  benchmark suite (see :mod:`benchmarks._bench_utils`).
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
@@ -34,7 +52,7 @@ from repro.analysis.tables import (
 )
 from repro.attacks.campaign import CampaignSpec, EpisodeSpec
 from repro.attacks.fi import FaultType
-from repro.core.experiment import run_campaign, run_episode
+from repro.core.experiment import run_campaign
 from repro.safety.aebs import AebsConfig
 from repro.safety.arbitration import InterventionConfig
 from repro.sim.weather import FRICTION_CONDITIONS
@@ -63,6 +81,27 @@ def _add_intervention_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes for campaign execution "
+        "(default: REPRO_JOBS env var, then serial)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ADAS safety-intervention reproduction toolkit"
@@ -79,11 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ep.add_argument("--seed", type=int, default=2025)
     _add_intervention_flags(ep)
+    _add_jobs_flag(ep)
 
     for name in ("table4", "table6", "table7", "table8"):
         p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument("--reps", type=int, default=2, help="repetitions per cell")
         p.add_argument("--seed", type=int, default=2025)
+        _add_jobs_flag(p)
 
     for name in ("fig5", "fig6"):
         p = sub.add_parser(name, help=f"trace {name}")
@@ -95,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=2025)
     rep.add_argument("--ml", action="store_true", help="include the ML baseline")
     rep.add_argument("--output", default="report.md")
+    _add_jobs_flag(rep)
 
     ml = sub.add_parser("train-ml", help="train and cache the LSTM baseline")
     ml.add_argument("--epochs", type=int, default=4)
@@ -104,6 +146,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
+    # Campaign commands fall back to REPRO_JOBS when --jobs is omitted;
+    # surface a malformed env var as a clean CLI error, not a traceback.
+    # (Commands without a --jobs flag never read the env var.)
+    if "jobs" in vars(args) and args.jobs is None:
+        from repro.core.executor import default_jobs
+
+        try:
+            default_jobs()
+        except ValueError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+
     if args.command == "episode":
         spec = EpisodeSpec(
             scenario_id=args.scenario,
@@ -112,11 +166,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             repetition=0,
             seed=args.seed,
         )
-        result = run_episode(spec, _interventions_from_args(args))
+        # Route the single episode through the campaign engine so --jobs is
+        # honoured uniformly (with one episode it degenerates to serial).
+        campaign = run_campaign([spec], _interventions_from_args(args), jobs=args.jobs)
+        result = campaign.results[0]
         outcome = result.accident.value if result.accident else "no accident"
+        min_ttc = f"{result.min_ttc:.2f} s" if math.isfinite(result.min_ttc) else "-"
         print(f"outcome:    {outcome}")
         print(f"duration:   {result.duration:.2f} s ({result.steps} steps)")
-        print(f"min TTC:    {result.min_ttc:.2f} s")
+        print(f"min TTC:    {min_ttc}")
         print(f"hard brake: {100 * result.hardest_brake_fraction:.1f} %")
         print(f"prevented:  {result.prevented}")
         return 0
@@ -127,6 +185,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 fault_types=[FaultType.NONE], repetitions=args.reps, seed=args.seed
             ),
             InterventionConfig(),
+            jobs=args.jobs,
         )
         print(render_table4(table4_driving_performance(campaign)))
         print()
@@ -142,7 +201,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows = []
         for cfg in TABLE6_CONFIGS:
             print(f"running {cfg.label()} ...", file=sys.stderr)
-            campaign = run_campaign(spec, cfg)
+            campaign = run_campaign(spec, cfg, jobs=args.jobs)
             for fault, results in sorted(
                 group_by(campaign.results, "fault_type").items()
             ):
@@ -157,7 +216,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for rt in (1.0, 1.5, 2.0, 2.5, 3.0, 3.5):
             print(f"reaction time {rt} s ...", file=sys.stderr)
             sweeps[rt] = run_campaign(
-                spec, InterventionConfig(driver=True, driver_reaction_time=rt)
+                spec,
+                InterventionConfig(driver=True, driver_reaction_time=rt),
+                jobs=args.jobs,
             )
         print(render_table7(table7_reaction_sweep(sweeps)))
         return 0
@@ -180,6 +241,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     friction=condition,
                 ),
                 cfg,
+                jobs=args.jobs,
             )
         print(render_table8(table8_friction_sweep(sweeps)))
         return 0
@@ -206,7 +268,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "report":
         config = ReportConfig(
-            repetitions=args.reps, seed=args.seed, include_ml=args.ml, log=print
+            repetitions=args.reps,
+            seed=args.seed,
+            include_ml=args.ml,
+            jobs=args.jobs,
+            log=print,
         )
         text = generate_report(config)
         with open(args.output, "w") as handle:

@@ -7,12 +7,20 @@
   brake, min TTC, following distance, lane-line distance).
 * :mod:`repro.core.platform` — the 100 Hz loop wiring simulator,
   perception, fault injection, ADAS, safety interventions and arbitration.
+* :mod:`repro.core.executor` — pluggable campaign execution backends
+  (serial / process-pool) with deterministic, ordered results.
 * :mod:`repro.core.experiment` — campaign execution and aggregation.
 """
 
 from repro.core.hazards import AccidentType, HazardMonitor
-from repro.core.metrics import EpisodeResult, aggregate
+from repro.core.metrics import EpisodeResult, aggregate, load_results, save_results
 from repro.core.platform import EpisodeTrace, SimulationPlatform
+from repro.core.executor import (
+    CampaignExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from repro.core.experiment import CampaignResult, run_campaign, run_episode
 
 __all__ = [
@@ -20,8 +28,14 @@ __all__ = [
     "HazardMonitor",
     "EpisodeResult",
     "aggregate",
+    "load_results",
+    "save_results",
     "EpisodeTrace",
     "SimulationPlatform",
+    "CampaignExecutor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "make_executor",
     "CampaignResult",
     "run_campaign",
     "run_episode",

@@ -5,6 +5,33 @@
 seeds are derived deterministically (see :mod:`repro.attacks.campaign`), so
 running the *same* campaign under different intervention configurations
 compares them on identical attack episodes — the paper's Table VI setup.
+
+Execution architecture
+----------------------
+
+Episodes are dispatched through the pluggable executor layer in
+:mod:`repro.core.executor`:
+
+* ``run_campaign(..., jobs=1)`` (the default) uses the in-process
+  :class:`~repro.core.executor.SerialExecutor`;
+* ``jobs=N`` fans episodes out to a process pool via
+  :class:`~repro.core.executor.ParallelExecutor` — results are reassembled
+  in enumeration order, so both backends return **bit-identical**
+  :class:`CampaignResult`\\ s for the same spec;
+* ``jobs=None`` defers to the ``REPRO_JOBS`` environment variable (then 1),
+  so existing call sites parallelise without code changes;
+* an explicit ``executor=`` overrides all of the above (used by tests and
+  custom backends).
+
+Environment variables (shared with the CLI and benchmark suite):
+
+* ``REPRO_JOBS`` — default worker process count for campaigns.
+* ``REPRO_REPS`` / ``REPRO_FULL`` — benchmark repetition count (see
+  :mod:`benchmarks._bench_utils`).
+
+Campaign results persist as JSONL via :meth:`CampaignResult.save` /
+:meth:`CampaignResult.load` (one :class:`EpisodeResult` per line), which is
+what makes large campaigns cacheable and resumable.
 """
 
 from __future__ import annotations
@@ -13,7 +40,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.attacks.campaign import CampaignSpec, EpisodeSpec, enumerate_campaign
-from repro.core.metrics import AggregateStats, EpisodeResult, aggregate, group_by
+from repro.core.executor import CampaignExecutor, EpisodeTask, make_executor
+from repro.core.metrics import (
+    AggregateStats,
+    EpisodeResult,
+    aggregate,
+    group_by,
+    load_results,
+    save_results,
+)
 from repro.core.platform import MlController, SimulationPlatform
 from repro.safety.arbitration import InterventionConfig
 
@@ -46,6 +81,34 @@ class CampaignResult:
             ft: aggregate(rs) for ft, rs in group_by(self.results, "fault_type").items()
         }
 
+    def save(self, path) -> int:
+        """Persist every episode as JSONL; returns the record count."""
+        return save_results(self.results, path)
+
+    @classmethod
+    def load(cls, path) -> "CampaignResult":
+        """Rebuild a campaign from a JSONL file written by :meth:`save`.
+
+        The intervention label is recovered from the episode records (they
+        all carry it); an empty file loads as an empty ``"none"`` campaign.
+
+        Raises:
+            ValueError: when the records carry mixed intervention labels
+                (e.g. two different campaigns concatenated into one file) —
+                aggregating across intervention arms silently would corrupt
+                every rate the tables report.
+        """
+        results = load_results(path)
+        labels = {r.intervention for r in results}
+        if len(labels) > 1:
+            raise ValueError(
+                f"{path}: mixed intervention labels {sorted(labels)}; a "
+                "CampaignResult aggregates one configuration — load mixed "
+                "files with load_results() and group them explicitly"
+            )
+        intervention = results[0].intervention if results else "none"
+        return cls(intervention=intervention, results=results)
+
 
 def run_episode(
     spec: EpisodeSpec,
@@ -65,6 +128,8 @@ def run_campaign(
     interventions: InterventionConfig,
     ml_factory: Optional[Callable[[], MlController]] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    jobs: Optional[int] = None,
+    executor: Optional[CampaignExecutor] = None,
     **platform_kwargs,
 ) -> CampaignResult:
     """Run every episode of ``campaign`` under ``interventions``.
@@ -74,9 +139,20 @@ def run_campaign(
         interventions: the safety configuration under test.
         ml_factory: builds a fresh ML controller per episode (required when
             ``interventions.ml``); a factory rather than an instance so
-            controller state can never leak across episodes.
-        progress: optional ``(done, total)`` callback.
+            controller state can never leak across episodes.  Must be
+            picklable (a module-level callable, not a lambda) to cross the
+            process boundary under parallel execution.
+        progress: optional ``(done, total)`` callback; invoked thread-safely
+            and monotonically by every backend.
+        jobs: worker process count; ``None`` defers to the ``REPRO_JOBS``
+            environment variable (then serial).  Ignored when ``executor``
+            is given.
+        executor: explicit execution backend (overrides ``jobs``).
         **platform_kwargs: forwarded to :class:`SimulationPlatform`.
+
+    Returns:
+        A :class:`CampaignResult` whose ``results`` order matches the
+        campaign's enumeration order regardless of backend.
     """
     if isinstance(campaign, CampaignSpec):
         episodes = enumerate_campaign(campaign)
@@ -85,13 +161,15 @@ def run_campaign(
     if interventions.ml and ml_factory is None:
         raise ValueError("interventions.ml=True requires ml_factory")
 
-    results: List[EpisodeResult] = []
-    total = len(episodes)
-    for i, spec in enumerate(episodes):
-        controller = ml_factory() if (interventions.ml and ml_factory) else None
-        results.append(
-            run_episode(spec, interventions, ml_controller=controller, **platform_kwargs)
+    tasks = [
+        EpisodeTask.make(
+            spec,
+            interventions,
+            ml_factory=ml_factory if interventions.ml else None,
+            **platform_kwargs,
         )
-        if progress is not None:
-            progress(i + 1, total)
+        for spec in episodes
+    ]
+    backend = executor if executor is not None else make_executor(jobs)
+    results = backend.run(tasks, progress=progress)
     return CampaignResult(intervention=interventions.label(), results=results)

@@ -11,13 +11,26 @@
 * following distance, hardest-brake value, min TTC and min ``t_fcw``
   (Table IV);
 * minimum distance to lane lines (Table V).
+
+Episode-level minima use ``float("inf")`` as the in-flight sentinel while
+a simulation accumulates, but the sentinel never leaves this module:
+:func:`aggregate` normalises undefined minima to ``None`` (rendered as
+``-`` in the tables), and the :meth:`EpisodeResult.to_dict` /
+:meth:`EpisodeResult.from_dict` pair maps the sentinel to ``None`` and
+back — ``inf`` is not valid JSON, and the serialized form is what crosses
+process boundaries in parallel campaigns and lands in JSONL files
+(:func:`save_results` / :func:`load_results`).
 """
 
 from __future__ import annotations
 
+import json
+import math
+import os
+import warnings
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.hazards import AccidentType
 
@@ -49,6 +62,42 @@ class InterventionActivity:
         if self.activation_count == 0:
             return 0.0
         return self.active_duration / self.activation_count
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "triggered": self.triggered,
+            "first_time": self.first_time,
+            "active_duration": self.active_duration,
+            "activation_count": self.activation_count,
+            "prev_active": self._prev_active,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "InterventionActivity":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            triggered=bool(data["triggered"]),
+            first_time=data.get("first_time"),  # type: ignore[arg-type]
+            active_duration=float(data["active_duration"]),  # type: ignore[arg-type]
+            activation_count=int(data["activation_count"]),  # type: ignore[arg-type]
+            _prev_active=bool(data.get("prev_active", False)),
+        )
+
+
+#: The intervention-activity channels an :class:`EpisodeResult` carries,
+#: in serialization order.
+ACTIVITY_CHANNELS = ("aeb", "driver_brake", "driver_steer", "ml_recovery", "fcw")
+
+
+def _undefined_to_none(value: float) -> Optional[float]:
+    """Map the in-flight ``inf``/non-finite minima sentinel to ``None``."""
+    return None if not math.isfinite(value) else value
+
+
+def _none_to_undefined(value: Optional[float]) -> float:
+    """Inverse of :func:`_undefined_to_none` (None -> ``inf`` sentinel)."""
+    return float("inf") if value is None else float(value)
 
 
 @dataclass
@@ -100,6 +149,71 @@ class EpisodeResult:
         """An accident (A1 or A2) occurred."""
         return self.accident is not None
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation.
+
+        The ``inf`` minima sentinels become ``None`` (``inf`` is invalid
+        JSON) and the accident enum becomes its string value;
+        :meth:`from_dict` reverses both, so the round trip is exact.
+        """
+        return {
+            "scenario_id": self.scenario_id,
+            "initial_gap": self.initial_gap,
+            "fault_type": self.fault_type,
+            "seed": self.seed,
+            "intervention": self.intervention,
+            "accident": self.accident.value if self.accident is not None else None,
+            "accident_time": self.accident_time,
+            "h1": self.h1,
+            "h2": self.h2,
+            "steps": self.steps,
+            "duration": self.duration,
+            "min_ttc": _undefined_to_none(self.min_ttc),
+            "min_tfcw": _undefined_to_none(self.min_tfcw),
+            "following_distance": self.following_distance,
+            "hardest_brake_fraction": self.hardest_brake_fraction,
+            "min_lane_distance": _undefined_to_none(self.min_lane_distance),
+            "max_speed": self.max_speed,
+            "attack_first_activation": self.attack_first_activation,
+            "attack_activated": self.attack_activated,
+            "channels": {
+                name: getattr(self, name).to_dict() for name in ACTIVITY_CHANNELS
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EpisodeResult":
+        """Rebuild an :class:`EpisodeResult` from :meth:`to_dict` output."""
+        accident = data.get("accident")
+        channels: Dict[str, Dict[str, object]] = data.get("channels", {})  # type: ignore[assignment]
+        return cls(
+            scenario_id=str(data["scenario_id"]),
+            initial_gap=float(data["initial_gap"]),  # type: ignore[arg-type]
+            fault_type=str(data["fault_type"]),
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            intervention=str(data["intervention"]),
+            accident=AccidentType(accident) if accident is not None else None,
+            accident_time=data.get("accident_time"),  # type: ignore[arg-type]
+            h1=bool(data["h1"]),
+            h2=bool(data["h2"]),
+            steps=int(data["steps"]),  # type: ignore[arg-type]
+            duration=float(data["duration"]),  # type: ignore[arg-type]
+            min_ttc=_none_to_undefined(data.get("min_ttc")),
+            min_tfcw=_none_to_undefined(data.get("min_tfcw")),
+            following_distance=data.get("following_distance"),  # type: ignore[arg-type]
+            hardest_brake_fraction=float(data["hardest_brake_fraction"]),  # type: ignore[arg-type]
+            min_lane_distance=_none_to_undefined(data.get("min_lane_distance")),
+            max_speed=float(data["max_speed"]),  # type: ignore[arg-type]
+            attack_first_activation=data.get("attack_first_activation"),  # type: ignore[arg-type]
+            attack_activated=bool(data["attack_activated"]),
+            **{
+                name: InterventionActivity.from_dict(channels[name])
+                if name in channels
+                else InterventionActivity()
+                for name in ACTIVITY_CHANNELS
+            },
+        )
+
 
 @dataclass(frozen=True)
 class AggregateStats:
@@ -124,9 +238,9 @@ class AggregateStats:
     driver_steer_mitigation_time: Optional[float]
     mean_following_distance: Optional[float]
     mean_hardest_brake: float
-    min_ttc: float
-    min_tfcw: float
-    min_lane_distance: float
+    min_ttc: Optional[float]
+    min_tfcw: Optional[float]
+    min_lane_distance: Optional[float]
 
 
 def aggregate(results: Sequence[EpisodeResult]) -> AggregateStats:
@@ -173,9 +287,11 @@ def aggregate(results: Sequence[EpisodeResult]) -> AggregateStats:
         driver_steer_mitigation_time=mitigation_time("driver_steer"),
         mean_following_distance=mean(follow) if follow else None,
         mean_hardest_brake=mean(r.hardest_brake_fraction for r in results),
-        min_ttc=min(r.min_ttc for r in results),
-        min_tfcw=min(r.min_tfcw for r in results),
-        min_lane_distance=min(r.min_lane_distance for r in results),
+        min_ttc=_undefined_to_none(min(r.min_ttc for r in results)),
+        min_tfcw=_undefined_to_none(min(r.min_tfcw for r in results)),
+        min_lane_distance=_undefined_to_none(
+            min(r.min_lane_distance for r in results)
+        ),
     )
 
 
@@ -187,3 +303,69 @@ def group_by(
     for r in results:
         groups.setdefault(str(getattr(r, key)), []).append(r)
     return groups
+
+
+# --------------------------------------------------------------------- #
+# JSONL campaign persistence
+# --------------------------------------------------------------------- #
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_results(results: Sequence[EpisodeResult], path: PathLike) -> int:
+    """Write episode results as JSONL (one episode per line).
+
+    The format is append-friendly and streamable, which is what makes
+    campaigns cacheable and resumable: a partially-written file is still a
+    valid prefix of the campaign.
+
+    Returns:
+        The number of records written.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        for result in results:
+            handle.write(
+                json.dumps(result.to_dict(), sort_keys=True, allow_nan=False)
+            )
+            handle.write("\n")
+    return len(results)
+
+
+def load_results(path: PathLike) -> List[EpisodeResult]:
+    """Read a JSONL file written by :func:`save_results`.
+
+    Blank lines are skipped, so concatenated / appended files load cleanly.
+    A malformed *final* line is treated as a truncated write (the process
+    died mid-save): the valid prefix is returned with a ``RuntimeWarning``,
+    which is what makes partially-written campaigns resumable.
+
+    Raises:
+        ValueError: when a non-final line is not a valid episode record.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    numbered = [
+        (lineno, line.strip())
+        for lineno, line in enumerate(lines, start=1)
+        if line.strip()
+    ]
+    results: List[EpisodeResult] = []
+    for position, (lineno, line) in enumerate(numbered):
+        try:
+            results.append(EpisodeResult.from_dict(json.loads(line)))
+        # ValueError also covers json.JSONDecodeError and bad enum/number
+        # conversions inside from_dict.
+        except (ValueError, KeyError, TypeError) as exc:
+            if position == len(numbered) - 1:
+                warnings.warn(
+                    f"{path}:{lineno}: dropping malformed final record "
+                    f"(likely a truncated write: {exc}); loading the "
+                    f"{len(results)}-episode prefix",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            raise ValueError(
+                f"{path}:{lineno}: malformed episode record: {exc}"
+            ) from exc
+    return results
