@@ -11,6 +11,11 @@ Walks through the campaign execution engine (:mod:`repro.core.executor`):
    that avoids re-simulating 10,000-step episodes;
 4. aggregate the reloaded results into the paper's Table VI quantities.
 
+This is the single-machine layer; for the multi-machine workflow on top of
+it — shard -> merge -> report, plus resume and the digest-keyed result
+cache — see the "Distributed campaigns" walkthrough in
+:mod:`examples.sharded_campaign`.
+
 Run:
     python examples/parallel_campaign.py
     REPRO_JOBS=8 python -m repro table6   # same engine from the CLI

@@ -27,10 +27,12 @@ from repro.attacks import (
     EpisodeSpec,
     FaultInjectionEngine,
     FaultType,
+    ShardSpec,
     enumerate_campaign,
 )
 from repro.core import (
     AccidentType,
+    CampaignCache,
     CampaignExecutor,
     CampaignResult,
     EpisodeResult,
@@ -38,7 +40,10 @@ from repro.core import (
     SerialExecutor,
     SimulationPlatform,
     aggregate,
+    campaign_digest,
+    default_cache,
     load_results,
+    merge_shards,
     run_campaign,
     run_episode,
     save_results,
@@ -53,8 +58,10 @@ __all__ = [
     "EpisodeSpec",
     "FaultInjectionEngine",
     "FaultType",
+    "ShardSpec",
     "enumerate_campaign",
     "AccidentType",
+    "CampaignCache",
     "CampaignExecutor",
     "CampaignResult",
     "EpisodeResult",
@@ -62,7 +69,10 @@ __all__ = [
     "SerialExecutor",
     "SimulationPlatform",
     "aggregate",
+    "campaign_digest",
+    "default_cache",
     "load_results",
+    "merge_shards",
     "run_campaign",
     "run_episode",
     "save_results",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.figures import fig5_series, fig6_series, speed_drop
 from repro.analysis.tables import (
@@ -25,9 +25,15 @@ from repro.analysis.tables import (
     table7_reaction_sweep,
     table8_friction_sweep,
 )
-from repro.attacks.campaign import CampaignSpec
+from repro.attacks.campaign import CampaignSpec, EpisodeSpec, enumerate_campaign
 from repro.attacks.fi import FaultType
-from repro.core.experiment import run_campaign
+from repro.core.cache import (
+    CampaignCache,
+    campaign_digest,
+    default_cache,
+    resume_file_for,
+)
+from repro.core.experiment import CampaignResult, run_campaign
 from repro.core.metrics import group_by
 from repro.safety.aebs import AebsConfig
 from repro.safety.arbitration import InterventionConfig
@@ -47,6 +53,13 @@ class ReportConfig:
         jobs: worker processes per campaign (None defers to the
             ``REPRO_JOBS`` environment variable, then serial); results are
             bit-identical across worker counts.
+        cache_dir: campaign result cache directory (None defers to the
+            ``REPRO_CACHE_DIR`` environment variable, then no caching).
+            Cached campaigns — including the ML arm, keyed by its trainer
+            configuration — are returned without executing any episodes.
+        resume_dir: directory of per-campaign JSONL files keyed by content
+            digest; an interrupted report re-run skips completed campaigns
+            and resumes the partially-written one.
         log: progress sink (e.g. ``print``).
     """
 
@@ -55,11 +68,25 @@ class ReportConfig:
     include_ml: bool = False
     reaction_times: tuple = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5)
     jobs: Optional[int] = None
+    cache_dir: Optional[str] = None
+    resume_dir: Optional[str] = None
     log: Optional[Callable[[str], None]] = None
 
     def _say(self, message: str) -> None:
         if self.log is not None:
             self.log(message)
+
+    def cache(self) -> Optional[CampaignCache]:
+        """The effective result cache (explicit dir, then environment)."""
+        if self.cache_dir:
+            return CampaignCache(self.cache_dir)
+        return default_cache()
+
+    def resume_path_for(self, digest: str) -> Optional[str]:
+        """Resume file for a campaign digest under ``resume_dir`` (or None)."""
+        if not self.resume_dir:
+            return None
+        return resume_file_for(self.resume_dir, digest)
 
 
 #: The Table VI intervention rows, in paper order.
@@ -80,6 +107,30 @@ TABLE6_CONFIGS = (
 )
 
 
+def _run_report_campaign(
+    config: ReportConfig,
+    campaign: Union[CampaignSpec, Sequence[EpisodeSpec]],
+    interventions: InterventionConfig,
+    ml_factory: Optional[Callable[[], object]] = None,
+    ml_token: Optional[str] = None,
+) -> CampaignResult:
+    """One report campaign through the persistence layer (cache + resume)."""
+    resume_path = None
+    if config.resume_dir:
+        resume_path = config.resume_path_for(
+            campaign_digest(campaign, interventions, ml_token=ml_token)
+        )
+    cache = config.cache()
+    return run_campaign(
+        campaign,
+        interventions,
+        ml_factory=ml_factory,
+        jobs=config.jobs,
+        cache=cache if cache is not None else False,
+        resume_path=resume_path,
+    )
+
+
 def generate_report(config: ReportConfig = ReportConfig()) -> str:
     """Run all campaigns and return the full markdown report."""
     started = time.time()
@@ -93,14 +144,14 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
 
     # ---- Tables IV & V (fault-free grid) --------------------------------
     config._say("running fault-free campaign (Tables IV, V) ...")
-    benign = run_campaign(
+    benign = _run_report_campaign(
+        config,
         CampaignSpec(
             fault_types=[FaultType.NONE],
             repetitions=config.repetitions,
             seed=config.seed,
         ),
         InterventionConfig(),
-        jobs=config.jobs,
     )
     sections += ["```", render_table4(table4_driving_performance(benign)), "```", ""]
     sections += ["```", render_table5(table5_lane_distance(benign)), "```", ""]
@@ -130,22 +181,37 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
     rows = []
     for cfg in TABLE6_CONFIGS:
         config._say(f"running Table VI campaign: {cfg.label()} ...")
-        campaign = run_campaign(spec, cfg, jobs=config.jobs)
+        campaign = _run_report_campaign(config, spec, cfg)
         for fault, results in sorted(group_by(campaign.results, "fault_type").items()):
             rows.append(table6_row(results, cfg.label()))
     if config.include_ml:
         config._say("running Table VI campaign: ml ...")
-        from repro.ml import MitigationController, TrainerConfig, load_or_train_cached
+        from repro.ml import MitigationFactory, TrainerConfig, load_or_train_cached
 
-        baseline = load_or_train_cached(TrainerConfig())
-        # Note: a lambda factory cannot cross the process boundary; the
-        # executor detects this and runs the ML campaign in-process.
-        campaign = run_campaign(
-            spec,
-            InterventionConfig(ml=True, name="ml"),
-            ml_factory=lambda: MitigationController(baseline),
-            jobs=config.jobs,
-        )
+        trainer_config = TrainerConfig()
+        ml_cfg = InterventionConfig(ml=True, name="ml")
+        # Key the ML campaign by its trainer configuration so a cache hit
+        # short-circuits *before* weights are loaded or trained at all.
+        ml_token = f"trainer:{trainer_config!r}"
+        campaign = None
+        cache = config.cache()
+        if cache is not None:
+            hit = cache.get(campaign_digest(spec, ml_cfg, ml_token=ml_token))
+            if hit is not None and len(hit) == len(enumerate_campaign(spec)):
+                config._say("  (cache hit — skipping training and execution)")
+                campaign = CampaignResult(intervention=ml_cfg.label(), results=hit)
+        if campaign is None:
+            baseline = load_or_train_cached(trainer_config)
+            # A picklable factory carrying the trained weights: the ML arm
+            # fans out over worker processes and caches like any other arm
+            # (a lambda here used to force the in-process fallback).
+            campaign = _run_report_campaign(
+                config,
+                spec,
+                ml_cfg,
+                ml_factory=MitigationFactory(baseline, digest_token=ml_token),
+                ml_token=ml_token,
+            )
         for fault, results in sorted(group_by(campaign.results, "fault_type").items()):
             rows.append(table6_row(results, "ml"))
     rows.sort(key=lambda r: (r.fault_type, r.intervention))
@@ -155,10 +221,8 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
     sweeps = {}
     for rt in config.reaction_times:
         config._say(f"running Table VII sweep: reaction time {rt} s ...")
-        sweeps[rt] = run_campaign(
-            spec,
-            InterventionConfig(driver=True, driver_reaction_time=rt),
-            jobs=config.jobs,
+        sweeps[rt] = _run_report_campaign(
+            config, spec, InterventionConfig(driver=True, driver_reaction_time=rt)
         )
     sections += ["```", render_table7(table7_reaction_sweep(sweeps)), "```", ""]
 
@@ -169,7 +233,8 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
     )
     for label, condition in FRICTION_CONDITIONS.items():
         config._say(f"running Table VIII sweep: {label} ...")
-        friction_sweeps[label] = run_campaign(
+        friction_sweeps[label] = _run_report_campaign(
+            config,
             CampaignSpec(
                 fault_types=[FaultType.RELATIVE_DISTANCE, FaultType.DESIRED_CURVATURE],
                 repetitions=config.repetitions,
@@ -177,7 +242,6 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
                 friction=condition,
             ),
             cfg8,
-            jobs=config.jobs,
         )
     sections += ["```", render_table8(table8_friction_sweep(friction_sweeps)), "```", ""]
 

@@ -21,7 +21,13 @@ from repro.attacks.patches import (
     RelativeDistanceAttack,
     build_attack,
 )
-from repro.attacks.campaign import CampaignSpec, EpisodeSpec, enumerate_campaign
+from repro.attacks.campaign import (
+    ATTACK_FAULT_TYPES,
+    CampaignSpec,
+    EpisodeSpec,
+    ShardSpec,
+    enumerate_campaign,
+)
 
 __all__ = [
     "FaultInjectionEngine",
@@ -30,7 +36,9 @@ __all__ = [
     "MixedAttack",
     "RelativeDistanceAttack",
     "build_attack",
+    "ATTACK_FAULT_TYPES",
     "CampaignSpec",
     "EpisodeSpec",
+    "ShardSpec",
     "enumerate_campaign",
 ]

@@ -1,16 +1,22 @@
-"""Campaign enumeration.
+"""Campaign enumeration and sharding.
 
 The paper's fault-injection grid (Section IV-B): *"Each configuration is
 repeated 10 times, resulting in 360 simulations (3 fault types x 2 initial
 positions x 6 driving scenarios)."*  :func:`enumerate_campaign` produces
 exactly that grid (or the fault-free variant for Tables IV/V), with one
 deterministic seed per episode derived from the campaign seed.
+
+Because episode seeds are order-independent, the enumerated list can be
+cut into contiguous slices and the slices run on different machines: a
+:class:`ShardSpec` names one such slice (``repro campaign --shard 2/4``),
+and the union of all shards is exactly the unsharded enumeration — the
+invariant ``repro merge`` and the sharding test suite rely on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple, TypeVar
 
 from repro.attacks.fi import FaultType
 from repro.sim.scenarios import INITIAL_GAPS, SCENARIO_IDS
@@ -23,6 +29,66 @@ ATTACK_FAULT_TYPES = (
     FaultType.DESIRED_CURVATURE,
     FaultType.MIXED,
 )
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous slice of a campaign enumeration: shard ``index`` of
+    ``count``, written ``index/count`` on the command line.
+
+    Shards are 1-based (``1/4`` .. ``4/4``) and partition the episode list:
+    every episode lands in exactly one shard, shards preserve enumeration
+    order, and shard sizes differ by at most one episode.  Slicing is a pure
+    function of ``(index, count, len(items))``, so every worker machine
+    computes the same partition from the same :class:`CampaignSpec` with no
+    coordination.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+        if not 1 <= self.index <= self.count:
+            raise ValueError(
+                f"shard index must be in 1..{self.count} (shards are "
+                f"1-based), got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI form ``"I/N"`` (e.g. ``"2/4"``).
+
+        Raises:
+            ValueError: on malformed text or an out-of-range index.
+        """
+        parts = text.split("/")
+        if len(parts) != 2:
+            raise ValueError(f"expected shard as 'I/N' (e.g. '2/4'), got {text!r}")
+        try:
+            index, count = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise ValueError(
+                f"expected shard as 'I/N' with integer I and N, got {text!r}"
+            ) from None
+        return cls(index=index, count=count)
+
+    def bounds(self, total: int) -> Tuple[int, int]:
+        """Half-open ``[lo, hi)`` index range of this shard over ``total`` items."""
+        lo = (self.index - 1) * total // self.count
+        hi = self.index * total // self.count
+        return lo, hi
+
+    def slice(self, items: Sequence[_T]) -> List[_T]:
+        """This shard's contiguous slice of ``items``."""
+        lo, hi = self.bounds(len(items))
+        return list(items[lo:hi])
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
 
 
 @dataclass(frozen=True)
@@ -110,13 +176,21 @@ class CampaignSpec:
                 )
 
 
-def enumerate_campaign(spec: CampaignSpec) -> List[EpisodeSpec]:
+def enumerate_campaign(
+    spec: CampaignSpec, shard: Optional[ShardSpec] = None
+) -> List[EpisodeSpec]:
     """Expand a :class:`CampaignSpec` into its ordered episode list.
 
     Episode seeds are derived from ``(campaign seed, scenario, gap, fault,
     repetition)`` — independent of enumeration order and of which other
     grid cells exist, so intervention configurations can be compared on
     *identical* episodes.
+
+    Args:
+        spec: the grid to expand.
+        shard: when given, return only that contiguous slice of the full
+            enumeration (see :class:`ShardSpec`); the union of all shards
+            of a campaign is exactly the unsharded enumeration.
     """
     episodes: List[EpisodeSpec] = []
     for fault in spec.fault_types:
@@ -134,4 +208,6 @@ def enumerate_campaign(spec: CampaignSpec) -> List[EpisodeSpec]:
                             friction=spec.friction,
                         )
                     )
+    if shard is not None:
+        return shard.slice(episodes)
     return episodes

@@ -3,6 +3,8 @@
 Commands:
 
 * ``episode``   — run one episode and print its measurements.
+* ``campaign``  — run one campaign (optionally a shard) and write JSONL.
+* ``merge``     — validate and concatenate shard JSONL files.
 * ``table4``    — fault-free driving-performance campaign (Tables IV + V).
 * ``table6``    — the full intervention-comparison campaign.
 * ``table7``    — driver reaction-time sweep.
@@ -15,17 +17,32 @@ Commands:
 Parallel execution
 ------------------
 
-Every campaign command (``episode``, ``table4``, ``table6``, ``table7``,
-``table8``, ``report``) accepts ``--jobs N`` to fan episodes out over ``N``
-worker processes (see :mod:`repro.core.executor`).  Results are bit-identical
-to a serial run — episode seeds are order-independent and results are
-reassembled in enumeration order — so ``--jobs`` only changes wall-clock
-time.  When the flag is omitted the ``REPRO_JOBS`` environment variable
-supplies the default (then 1).
+Every campaign command (``episode``, ``campaign``, ``table4``, ``table6``,
+``table7``, ``table8``, ``report``) accepts ``--jobs N`` to fan episodes out
+over ``N`` worker processes (see :mod:`repro.core.executor`).  Results are
+bit-identical to a serial run — episode seeds are order-independent and
+results are reassembled in enumeration order — so ``--jobs`` only changes
+wall-clock time.  When the flag is omitted the ``REPRO_JOBS`` environment
+variable supplies the default (then 1).
+
+Distributed campaigns
+---------------------
+
+``repro campaign --shard I/N`` runs the I-th contiguous slice of the
+enumerated grid and writes a shard JSONL; ``repro merge`` validates the
+shards (same intervention, no overlap, no truncation) and concatenates them
+into the unsharded campaign file.  ``--resume`` picks an interrupted run
+back up from the valid JSONL prefix, and ``--cache-dir`` (or the
+``REPRO_CACHE_DIR`` environment variable) keys completed campaigns by
+content digest so a repeated campaign executes zero episodes.  The grid
+commands (``table4`` .. ``table8``, ``report``, ``episode``) take
+``--resume DIR`` instead: each constituent campaign resumes from a
+digest-named file in that directory.
 
 Environment variables:
 
 * ``REPRO_JOBS`` — default worker process count for campaigns.
+* ``REPRO_CACHE_DIR`` — default campaign result cache directory.
 * ``REPRO_REPS`` / ``REPRO_FULL`` — repetitions per grid cell for the
   benchmark suite (see :mod:`benchmarks._bench_utils`).
 """
@@ -34,6 +51,8 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
+import re
 import sys
 from typing import List, Optional
 
@@ -50,9 +69,21 @@ from repro.analysis.tables import (
     table7_reaction_sweep,
     table8_friction_sweep,
 )
-from repro.attacks.campaign import CampaignSpec, EpisodeSpec
+from repro.attacks.campaign import (
+    ATTACK_FAULT_TYPES,
+    CampaignSpec,
+    EpisodeSpec,
+    ShardSpec,
+    enumerate_campaign,
+)
 from repro.attacks.fi import FaultType
-from repro.core.experiment import run_campaign
+from repro.core.cache import (
+    CampaignCache,
+    campaign_digest,
+    resume_file_for,
+    write_digest_sidecar,
+)
+from repro.core.experiment import merge_shards, run_campaign
 from repro.safety.aebs import AebsConfig
 from repro.safety.arbitration import InterventionConfig
 from repro.sim.weather import FRICTION_CONDITIONS
@@ -102,6 +133,89 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_shard(text: str) -> ShardSpec:
+    try:
+        return ShardSpec.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="campaign result cache directory "
+        "(default: REPRO_CACHE_DIR env var, then no caching)",
+    )
+
+
+def _add_grid_persistence_flags(parser: argparse.ArgumentParser) -> None:
+    """``--jobs`` / ``--resume DIR`` / ``--cache-dir`` for grid commands."""
+    _add_jobs_flag(parser)
+    _add_cache_flag(parser)
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume each constituent campaign from a digest-named JSONL "
+        "file in DIR (files are created on first run)",
+    )
+
+
+_SHARD_NAME_RE = re.compile(r"shard-(\d+)-of-(\d+)")
+
+
+def _check_shard_name_order(paths) -> Optional[str]:
+    """Catch default-named shard files passed out of order, incompletely,
+    or from different shard counts before merging concatenates them wrongly.
+
+    Only applies when *every* basename matches the
+    ``...shard-I-of-N...`` pattern the ``campaign`` command emits;
+    custom names mean the caller owns the ordering.  Returns an error
+    message, or None when the set is fine / unknowable.
+    """
+    parsed = [_SHARD_NAME_RE.search(str(os.path.basename(p))) for p in paths]
+    if not all(parsed):
+        return None
+    indices = [int(m.group(1)) for m in parsed]
+    counts = {int(m.group(2)) for m in parsed}
+    if len(counts) > 1:
+        return (
+            f"shard files come from different shard counts {sorted(counts)}; "
+            "merge shards of one campaign split one way"
+        )
+    count = counts.pop()
+    if indices != sorted(indices):
+        return (
+            f"shard files passed in order {indices}; pass them in shard-index "
+            "order (1/N first) so the merged file matches the serial run"
+        )
+    missing = sorted(set(range(1, count + 1)) - set(indices))
+    if missing:
+        return (
+            f"shard set is incomplete: missing shard(s) "
+            f"{'/'.join(f'{i}/{count}' for i in missing)} — merging would "
+            "silently drop those episodes from every downstream aggregate"
+        )
+    if len(indices) != len(set(indices)):
+        return f"shard files repeat indices {indices}; pass each shard once"
+    return None
+
+
+def _persistence_kwargs(args, campaign, interventions, ml_token=None) -> dict:
+    """``run_campaign`` keyword arguments from grid-command flags."""
+    kwargs = {"jobs": args.jobs}
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        kwargs["cache"] = CampaignCache(cache_dir)
+    resume_dir = getattr(args, "resume", None)
+    if resume_dir:
+        digest = campaign_digest(campaign, interventions, ml_token=ml_token)
+        kwargs["resume_path"] = resume_file_for(resume_dir, digest)
+    return kwargs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ADAS safety-intervention reproduction toolkit"
@@ -118,13 +232,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ep.add_argument("--seed", type=int, default=2025)
     _add_intervention_flags(ep)
-    _add_jobs_flag(ep)
+    _add_grid_persistence_flags(ep)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run one campaign (optionally a shard of it) and write JSONL",
+    )
+    camp.add_argument(
+        "--fault",
+        action="append",
+        choices=[f.value for f in FaultType],
+        default=None,
+        metavar="FAULT",
+        help="fault type to sweep (repeatable; default: the three attacked "
+        "fault types)",
+    )
+    camp.add_argument("--reps", type=int, default=2, help="repetitions per cell")
+    camp.add_argument("--seed", type=int, default=2025)
+    camp.add_argument(
+        "--shard",
+        type=_parse_shard,
+        default=None,
+        metavar="I/N",
+        help="run only the I-th of N contiguous slices of the grid "
+        "(1-based, e.g. 2/4); merge shard files with 'repro merge'",
+    )
+    camp.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="FILE",
+        help="campaign JSONL path (default: campaign.jsonl, or "
+        "campaign-shard-I-of-N.jsonl for shards)",
+    )
+    camp.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume into --output: skip the episodes its valid JSONL "
+        "prefix already records and run only the remainder",
+    )
+    camp.add_argument(
+        "--max-steps",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="cap episode length in simulation steps (smoke tests / CI)",
+    )
+    _add_intervention_flags(camp)
+    _add_jobs_flag(camp)
+    _add_cache_flag(camp)
+
+    mg = sub.add_parser(
+        "merge",
+        help="validate shard JSONL files and concatenate them into one campaign",
+    )
+    mg.add_argument(
+        "shards",
+        nargs="+",
+        metavar="SHARD",
+        help="shard files in shard-index order (1/N .. N/N)",
+    )
+    mg.add_argument("--output", "-o", required=True, metavar="FILE")
 
     for name in ("table4", "table6", "table7", "table8"):
         p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument("--reps", type=int, default=2, help="repetitions per cell")
         p.add_argument("--seed", type=int, default=2025)
-        _add_jobs_flag(p)
+        _add_grid_persistence_flags(p)
 
     for name in ("fig5", "fig6"):
         p = sub.add_parser(name, help=f"trace {name}")
@@ -136,7 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=2025)
     rep.add_argument("--ml", action="store_true", help="include the ML baseline")
     rep.add_argument("--output", default="report.md")
-    _add_jobs_flag(rep)
+    _add_grid_persistence_flags(rep)
 
     ml = sub.add_parser("train-ml", help="train and cache the LSTM baseline")
     ml.add_argument("--epochs", type=int, default=4)
@@ -166,9 +340,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             repetition=0,
             seed=args.seed,
         )
-        # Route the single episode through the campaign engine so --jobs is
-        # honoured uniformly (with one episode it degenerates to serial).
-        campaign = run_campaign([spec], _interventions_from_args(args), jobs=args.jobs)
+        # Route the single episode through the campaign engine so --jobs,
+        # --resume and --cache-dir are honoured uniformly (with one episode
+        # execution degenerates to serial).
+        cfg = _interventions_from_args(args)
+        campaign = run_campaign([spec], cfg, **_persistence_kwargs(args, [spec], cfg))
         result = campaign.results[0]
         outcome = result.accident.value if result.accident else "no accident"
         min_ttc = f"{result.min_ttc:.2f} s" if math.isfinite(result.min_ttc) else "-"
@@ -179,14 +355,83 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"prevented:  {result.prevented}")
         return 0
 
-    if args.command == "table4":
-        campaign = run_campaign(
-            CampaignSpec(
-                fault_types=[FaultType.NONE], repetitions=args.reps, seed=args.seed
-            ),
-            InterventionConfig(),
-            jobs=args.jobs,
+    if args.command == "campaign":
+        fault_values = args.fault or [f.value for f in ATTACK_FAULT_TYPES]
+        spec = CampaignSpec(
+            fault_types=[FaultType(v) for v in fault_values],
+            repetitions=args.reps,
+            seed=args.seed,
         )
+        episodes = enumerate_campaign(spec, shard=args.shard)
+        cfg = _interventions_from_args(args)
+        output = args.output
+        if output is None:
+            output = (
+                f"campaign-shard-{args.shard.index}-of-{args.shard.count}.jsonl"
+                if args.shard
+                else "campaign.jsonl"
+            )
+        platform_kwargs = {}
+        if args.max_steps is not None:
+            platform_kwargs["max_steps"] = args.max_steps
+
+        def progress(done, total):
+            print(f"\r  {done}/{total} episodes", end="", file=sys.stderr)
+            if done == total:
+                print(file=sys.stderr)
+
+        shard_note = f" (shard {args.shard})" if args.shard else ""
+        print(
+            f"running {len(episodes)} episodes under {cfg.label()}{shard_note} ...",
+            file=sys.stderr,
+        )
+        try:
+            campaign = run_campaign(
+                episodes,
+                cfg,
+                jobs=args.jobs,
+                cache=CampaignCache(args.cache_dir) if args.cache_dir else None,
+                resume_path=output if args.resume else None,
+                progress=progress if episodes else None,
+                **platform_kwargs,
+            )
+        except (ValueError, OSError) as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+        if not args.resume:
+            campaign.save(output)
+            # Record the content digest next to the file so a later
+            # --resume with different inputs (e.g. another --max-steps) is
+            # refused instead of absorbing mismatched episodes.
+            write_digest_sidecar(
+                output, campaign_digest(episodes, cfg, **platform_kwargs)
+            )
+        print(f"wrote {len(campaign.results)} episodes -> {output}")
+        return 0
+
+    if args.command == "merge":
+        order_error = _check_shard_name_order(args.shards)
+        if order_error is not None:
+            print(f"repro: error: {order_error}", file=sys.stderr)
+            return 2
+        try:
+            merged = merge_shards(args.shards, output=args.output)
+        except (ValueError, OSError) as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"merged {len(args.shards)} shards "
+            f"({len(merged.results)} episodes, intervention "
+            f"{merged.intervention!r}) -> {args.output}"
+        )
+        return 0
+
+    if args.command == "table4":
+        spec4 = CampaignSpec(
+            fault_types=[FaultType.NONE], repetitions=args.reps, seed=args.seed
+        )
+        cfg4 = InterventionConfig()
+        campaign = run_campaign(spec4, cfg4, **_persistence_kwargs(args, spec4, cfg4))
         print(render_table4(table4_driving_performance(campaign)))
         print()
         print(render_table5(table5_lane_distance(campaign)))
@@ -201,7 +446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows = []
         for cfg in TABLE6_CONFIGS:
             print(f"running {cfg.label()} ...", file=sys.stderr)
-            campaign = run_campaign(spec, cfg, jobs=args.jobs)
+            campaign = run_campaign(spec, cfg, **_persistence_kwargs(args, spec, cfg))
             for fault, results in sorted(
                 group_by(campaign.results, "fault_type").items()
             ):
@@ -215,11 +460,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         sweeps = {}
         for rt in (1.0, 1.5, 2.0, 2.5, 3.0, 3.5):
             print(f"reaction time {rt} s ...", file=sys.stderr)
-            sweeps[rt] = run_campaign(
-                spec,
-                InterventionConfig(driver=True, driver_reaction_time=rt),
-                jobs=args.jobs,
-            )
+            cfg7 = InterventionConfig(driver=True, driver_reaction_time=rt)
+            sweeps[rt] = run_campaign(spec, cfg7, **_persistence_kwargs(args, spec, cfg7))
         print(render_table7(table7_reaction_sweep(sweeps)))
         return 0
 
@@ -230,18 +472,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         sweeps = {}
         for label, condition in FRICTION_CONDITIONS.items():
             print(f"friction {label} ...", file=sys.stderr)
+            spec8 = CampaignSpec(
+                fault_types=[
+                    FaultType.RELATIVE_DISTANCE,
+                    FaultType.DESIRED_CURVATURE,
+                ],
+                repetitions=args.reps,
+                seed=args.seed,
+                friction=condition,
+            )
             sweeps[label] = run_campaign(
-                CampaignSpec(
-                    fault_types=[
-                        FaultType.RELATIVE_DISTANCE,
-                        FaultType.DESIRED_CURVATURE,
-                    ],
-                    repetitions=args.reps,
-                    seed=args.seed,
-                    friction=condition,
-                ),
-                cfg,
-                jobs=args.jobs,
+                spec8, cfg, **_persistence_kwargs(args, spec8, cfg)
             )
         print(render_table8(table8_friction_sweep(sweeps)))
         return 0
@@ -272,6 +513,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             include_ml=args.ml,
             jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            resume_dir=args.resume,
             log=print,
         )
         text = generate_report(config)

@@ -9,7 +9,10 @@
   perception, fault injection, ADAS, safety interventions and arbitration.
 * :mod:`repro.core.executor` — pluggable campaign execution backends
   (serial / process-pool) with deterministic, ordered results.
-* :mod:`repro.core.experiment` — campaign execution and aggregation.
+* :mod:`repro.core.cache` — digest-keyed campaign result cache
+  (``REPRO_CACHE_DIR``).
+* :mod:`repro.core.experiment` — campaign execution (sharding, resume,
+  caching) and aggregation.
 """
 
 from repro.core.hazards import AccidentType, HazardMonitor
@@ -21,7 +24,13 @@ from repro.core.executor import (
     SerialExecutor,
     make_executor,
 )
-from repro.core.experiment import CampaignResult, run_campaign, run_episode
+from repro.core.cache import CampaignCache, campaign_digest, default_cache
+from repro.core.experiment import (
+    CampaignResult,
+    merge_shards,
+    run_campaign,
+    run_episode,
+)
 
 __all__ = [
     "AccidentType",
@@ -36,7 +45,11 @@ __all__ = [
     "ParallelExecutor",
     "SerialExecutor",
     "make_executor",
+    "CampaignCache",
+    "campaign_digest",
+    "default_cache",
     "CampaignResult",
+    "merge_shards",
     "run_campaign",
     "run_episode",
 ]

@@ -1,0 +1,278 @@
+"""Digest-keyed campaign result cache.
+
+Large campaigns (the paper's 360-episode grids, the Table VII/VIII sweeps)
+are pure functions of their inputs: episode seeds are fully determined by
+the :class:`~repro.attacks.campaign.CampaignSpec` and every backend returns
+bit-identical results.  That makes campaign results cacheable by *content
+digest*: canonicalise everything that influences the outcome — the
+enumerated episode list, the :class:`~repro.safety.arbitration.InterventionConfig`,
+the ML-arm fingerprint and any platform overrides — into a JSON document
+with sorted keys and hash it with SHA-256.  The digest is stable across
+processes, machines and Python versions (``hash()`` is salted per process
+and unusable here, exactly as in :func:`repro.utils.rng.derive_seed`).
+
+:class:`CampaignCache` maps digests to completed campaign JSONL files in a
+directory.  Entries are written atomically (temp file + ``os.replace``), so
+a reader never observes a partial entry; a corrupt or truncated entry is
+treated as a miss and discarded.  ``run_campaign`` and the report pipeline
+consult the cache before executing anything, so a repeated campaign — same
+grid, same interventions, same weights — executes zero episodes.
+
+The cache directory defaults to the ``REPRO_CACHE_DIR`` environment
+variable (see :func:`default_cache`); when unset, caching is off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import types
+import warnings
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.attacks.campaign import CampaignSpec, EpisodeSpec, enumerate_campaign
+from repro.core.metrics import EpisodeResult, PathLike, load_results, save_results
+from repro.safety.arbitration import InterventionConfig
+
+#: Bump when the canonical forms below change shape, so stale cache entries
+#: keyed under an old scheme can never be returned for a new-scheme query.
+DIGEST_FORMAT = 1
+
+
+def canonical_episode(spec: EpisodeSpec) -> Dict[str, object]:
+    """JSON-safe canonical form of one :class:`EpisodeSpec`.
+
+    Enums flatten to their string values and friction to ``(name, mu)`` so
+    the form only contains primitives ``json.dumps`` orders stably.
+    """
+    return {
+        "scenario_id": spec.scenario_id,
+        "initial_gap": spec.initial_gap,
+        "fault_type": spec.fault_type.value,
+        "repetition": spec.repetition,
+        "seed": spec.seed,
+        "friction": None
+        if spec.friction is None
+        else {"name": spec.friction.name, "mu": spec.friction.mu},
+    }
+
+
+def canonical_interventions(config: InterventionConfig) -> Dict[str, object]:
+    """JSON-safe canonical form of an :class:`InterventionConfig`.
+
+    Every field participates — including ``name``, which becomes the
+    intervention label stored in each result record, so two configs that
+    simulate identically but label differently must not share a cache entry.
+    """
+    return {
+        "driver": config.driver,
+        "safety_check": config.safety_check,
+        "aeb": config.aeb.value,
+        "ml": config.ml,
+        "driver_reaction_time": config.driver_reaction_time,
+        "aeb_overrides_driver": config.aeb_overrides_driver,
+        "name": config.name,
+    }
+
+
+def factory_token(ml_factory: Optional[object]) -> Optional[str]:
+    """Stable fingerprint of an ML controller factory, or None.
+
+    Preference order: an explicit ``digest_token`` attribute (see
+    :class:`repro.ml.mitigation.MitigationFactory`, which hashes its trained
+    weights), then the qualified name for *stateless* callables — plain
+    module-level functions and classes.  Everything else returns None and
+    callers must skip caching rather than risk serving wrong results:
+    lambdas and closures have no stable identity, and an arbitrary factory
+    *instance* can carry state (e.g. trained weights) its class name does
+    not capture, so two instances of the same class must not share a key.
+    """
+    if ml_factory is None:
+        return None
+    token = getattr(ml_factory, "digest_token", None)
+    if token is not None:
+        return str(token)
+    if not isinstance(
+        ml_factory, (types.FunctionType, types.BuiltinFunctionType, type)
+    ):
+        return None
+    qualname = ml_factory.__qualname__
+    module = ml_factory.__module__
+    if "<" in qualname:  # <lambda>, <locals>: not stable across edits
+        return None
+    return f"callable:{module}.{qualname}"
+
+
+def campaign_digest(
+    campaign: Union[CampaignSpec, Sequence[EpisodeSpec]],
+    interventions: InterventionConfig,
+    ml_token: Optional[str] = None,
+    **platform_kwargs,
+) -> str:
+    """SHA-256 content digest of everything that determines campaign results.
+
+    A :class:`CampaignSpec` digests as its enumerated episode list, so a
+    spec and its pre-enumerated episodes produce the same key — and a shard
+    slice keys differently from the full campaign automatically.
+
+    Args:
+        campaign: a spec or a pre-enumerated (possibly sharded) episode list.
+        interventions: the safety configuration under test.
+        ml_token: fingerprint of the ML arm (see :func:`factory_token`);
+            required to be non-None by callers when ``interventions.ml``.
+        **platform_kwargs: the :class:`SimulationPlatform` overrides the
+            campaign runs with (``max_steps``, ``dt``, ...).
+
+    Returns:
+        A 64-character lowercase hex digest.
+    """
+    if isinstance(campaign, CampaignSpec):
+        episodes = enumerate_campaign(campaign)
+    else:
+        episodes = list(campaign)
+    payload = {
+        "format": DIGEST_FORMAT,
+        "episodes": [canonical_episode(e) for e in episodes],
+        "interventions": canonical_interventions(interventions),
+        "ml": ml_token,
+        "platform": {str(k): v for k, v in platform_kwargs.items()},
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class CampaignCache:
+    """A directory of completed campaigns keyed by content digest.
+
+    Entries are plain campaign JSONL files (``<digest>.jsonl``), so every
+    existing tool — ``CampaignResult.load``, ``repro merge``, manual
+    inspection — works on cache entries directly.
+
+    Args:
+        root: cache directory; created if missing.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def path(self, key: str) -> str:
+        """Filesystem path of the entry for ``key`` (whether or not present)."""
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys are lowercase hex digests, got {key!r}")
+        return os.path.join(self.root, f"{key}.jsonl")
+
+    def get(self, key: str) -> Optional[List[EpisodeResult]]:
+        """Return the cached results for ``key``, or None on a miss.
+
+        A corrupt or truncated entry (e.g. the process died before the
+        atomic rename semantics existed, or the file was hand-edited) is
+        deleted and reported as a miss: recomputing is always safe, serving
+        a partial campaign as complete never is.
+        """
+        path = self.path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            return load_results(path, strict=True)
+        except (ValueError, OSError) as exc:
+            warnings.warn(
+                f"discarding corrupt cache entry {path}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, results: Sequence[EpisodeResult]) -> str:
+        """Store ``results`` under ``key``; returns the entry path.
+
+        Written to a temp file then ``os.replace``-d into place, so
+        concurrent readers (other shards, other machines on a shared
+        filesystem) never observe a partial entry.
+        """
+        path = self.path(key)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:16]}-", suffix=".tmp", dir=self.root
+        )
+        os.close(fd)
+        try:
+            save_results(results, tmp)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path(key))
+
+    def keys(self) -> List[str]:
+        """Digests of every entry currently in the cache."""
+        return sorted(
+            name[: -len(".jsonl")]
+            for name in os.listdir(self.root)
+            if name.endswith(".jsonl") and not name.startswith(".")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CampaignCache(root={self.root!r}, entries={len(self)})"
+
+
+def default_cache() -> Optional[CampaignCache]:
+    """The environment-configured cache: ``REPRO_CACHE_DIR``, or None.
+
+    An empty value disables caching, matching the unset behaviour.
+    """
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if not root:
+        return None
+    return CampaignCache(root)
+
+
+def resume_file_for(directory: PathLike, digest: str) -> str:
+    """The digest-named resume file for a campaign inside ``directory``.
+
+    The single definition of the naming scheme (``<digest[:16]>.jsonl``)
+    shared by the CLI grid commands and the report pipeline, so both always
+    resume the same campaign from the same file.  Creates ``directory`` if
+    missing.
+    """
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(str(directory), f"{digest[:16]}.jsonl")
+
+
+def write_digest_sidecar(path: PathLike, digest: str) -> str:
+    """Record ``digest`` next to a campaign JSONL file (``<path>.digest``).
+
+    The sidecar lets resume detect that a file was written under different
+    inputs (platform overrides, interventions, grid) even though the
+    episode records themselves cannot carry that information — the JSONL
+    format stays byte-identical across serial/shard/cache paths.
+    """
+    sidecar = f"{os.fspath(path)}.digest"
+    with open(sidecar, "w", encoding="utf-8") as handle:
+        handle.write(digest + "\n")
+    return sidecar
+
+
+def read_digest_sidecar(path: PathLike) -> Optional[str]:
+    """The digest recorded by :func:`write_digest_sidecar`, or None.
+
+    Missing sidecars are normal (hand-built or pre-sidecar files) and mean
+    "unknown", not "mismatch".
+    """
+    sidecar = f"{os.fspath(path)}.digest"
+    try:
+        with open(sidecar, "r", encoding="utf-8") as handle:
+            return handle.read().strip() or None
+    except FileNotFoundError:
+        return None

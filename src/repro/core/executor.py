@@ -23,7 +23,9 @@ Episode payloads cross process boundaries, which is why
 ``to_dict``/``from_dict`` serialization.  When a payload is *not*
 picklable (e.g. a lambda ``ml_factory``), :class:`ParallelExecutor`
 degrades to in-process execution with a ``RuntimeWarning`` rather than
-failing mid-campaign.
+failing mid-campaign — use the picklable
+:class:`repro.ml.mitigation.MitigationFactory` (which carries the trained
+weights) instead of a lambda so ML campaigns dispatch like the rest.
 
 The worker-count default honours the ``REPRO_JOBS`` environment variable
 (see :func:`default_jobs`), so campaigns parallelise without touching call
@@ -223,8 +225,9 @@ class ParallelExecutor(CampaignExecutor):
         if not self._dispatchable(tasks):
             warnings.warn(
                 "campaign payload is not picklable (e.g. a lambda ml_factory); "
-                "falling back to in-process execution — define the factory at "
-                "module level to enable parallel dispatch",
+                "falling back to in-process execution — use a module-level "
+                "factory such as repro.ml.MitigationFactory to enable "
+                "parallel dispatch",
                 RuntimeWarning,
                 stacklevel=2,
             )

@@ -30,20 +30,44 @@ Environment variables (shared with the CLI and benchmark suite):
   :mod:`benchmarks._bench_utils`).
 
 Campaign results persist as JSONL via :meth:`CampaignResult.save` /
-:meth:`CampaignResult.load` (one :class:`EpisodeResult` per line), which is
-what makes large campaigns cacheable and resumable.
+:meth:`CampaignResult.load` (one :class:`EpisodeResult` per line), and the
+persistence layer on top of that format makes campaigns distributable:
+
+* **resume** — ``run_campaign(..., resume_path=...)`` loads the valid
+  prefix of a partially-written JSONL file, skips the episodes it already
+  records, runs only the remainder and rewrites the file complete.  Safe at
+  any truncation point, including a write cut mid-line.
+* **cache** — ``run_campaign(..., cache=...)`` (default: the
+  ``REPRO_CACHE_DIR`` environment variable, see
+  :func:`repro.core.cache.default_cache`) consults a digest-keyed
+  :class:`~repro.core.cache.CampaignCache` before executing anything, so a
+  repeated campaign executes zero episodes.
+* **sharding** — a contiguous slice of the enumeration (see
+  :class:`~repro.attacks.campaign.ShardSpec`) runs anywhere as an ordinary
+  episode-list campaign; :func:`merge_shards` validates and reassembles the
+  shard files into the unsharded campaign.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.attacks.campaign import CampaignSpec, EpisodeSpec, enumerate_campaign
+from repro.core.cache import (
+    CampaignCache,
+    campaign_digest,
+    default_cache,
+    factory_token,
+    read_digest_sidecar,
+    write_digest_sidecar,
+)
 from repro.core.executor import CampaignExecutor, EpisodeTask, make_executor
 from repro.core.metrics import (
     AggregateStats,
     EpisodeResult,
+    PathLike,
     aggregate,
     group_by,
     load_results,
@@ -123,6 +147,55 @@ def run_episode(
     return platform.run()
 
 
+def _validate_resume_prefix(
+    prior: Sequence[EpisodeResult],
+    episodes: Sequence[EpisodeSpec],
+    label: str,
+    path: PathLike,
+) -> None:
+    """Refuse to resume from a file that is not a prefix of this campaign.
+
+    Raises:
+        ValueError: when the file holds more records than the campaign
+            enumerates, carries a different intervention label, or records
+            an episode identity other than the one enumerated at its
+            position — silently mixing campaigns would corrupt every
+            aggregate downstream.
+    """
+    if len(prior) > len(episodes):
+        raise ValueError(
+            f"{path}: resume file holds {len(prior)} records but the campaign "
+            f"enumerates only {len(episodes)} episodes; refusing to resume — "
+            "is this the right campaign (or an unsharded file resumed as a "
+            "shard)?"
+        )
+    for position, (record, spec) in enumerate(zip(prior, episodes)):
+        if record.intervention != label:
+            raise ValueError(
+                f"{path}: record {position} was run under intervention "
+                f"{record.intervention!r}, campaign requests {label!r}; "
+                "refusing to resume across intervention configurations"
+            )
+        recorded = (
+            record.scenario_id,
+            record.initial_gap,
+            record.fault_type,
+            record.seed,
+        )
+        expected = (
+            spec.scenario_id,
+            spec.initial_gap,
+            spec.fault_type.value,
+            spec.seed,
+        )
+        if recorded != expected:
+            raise ValueError(
+                f"{path}: record {position} is episode {recorded}, campaign "
+                f"enumerates {expected} at that position; refusing to resume "
+                "a mismatched file"
+            )
+
+
 def run_campaign(
     campaign: CampaignSpec | Sequence[EpisodeSpec],
     interventions: InterventionConfig,
@@ -130,29 +203,50 @@ def run_campaign(
     progress: Optional[Callable[[int, int], None]] = None,
     jobs: Optional[int] = None,
     executor: Optional[CampaignExecutor] = None,
+    resume_path: Optional[PathLike] = None,
+    cache: Union[CampaignCache, None, bool] = None,
     **platform_kwargs,
 ) -> CampaignResult:
     """Run every episode of ``campaign`` under ``interventions``.
 
     Args:
-        campaign: a :class:`CampaignSpec` or a pre-enumerated episode list.
+        campaign: a :class:`CampaignSpec` or a pre-enumerated episode list
+            (e.g. a :class:`~repro.attacks.campaign.ShardSpec` slice).
         interventions: the safety configuration under test.
         ml_factory: builds a fresh ML controller per episode (required when
             ``interventions.ml``); a factory rather than an instance so
-            controller state can never leak across episodes.  Must be
-            picklable (a module-level callable, not a lambda) to cross the
-            process boundary under parallel execution.
+            controller state can never leak across episodes.  Use
+            :class:`repro.ml.mitigation.MitigationFactory` — it is picklable
+            (crosses the process boundary under parallel execution) and
+            carries a ``digest_token`` so ML campaigns cache like the rest.
         progress: optional ``(done, total)`` callback; invoked thread-safely
-            and monotonically by every backend.
+            and monotonically by every backend.  ``total`` always counts the
+            full campaign; under resume, ``done`` starts at the number of
+            episodes already on disk.
         jobs: worker process count; ``None`` defers to the ``REPRO_JOBS``
             environment variable (then serial).  Ignored when ``executor``
             is given.
         executor: explicit execution backend (overrides ``jobs``).
+        resume_path: campaign JSONL file to resume into.  An existing file's
+            valid prefix (truncated final lines tolerated) is loaded and its
+            episodes skipped; only the remainder executes, with completed
+            episodes streamed to the file batch by batch so an interrupted
+            run leaves a resumable prefix behind.  A ``.digest`` sidecar
+            records the campaign's content digest, so a file written under
+            different inputs (platform overrides, interventions, grid) is
+            refused instead of silently absorbed; files without a sidecar
+            fall back to per-record identity validation.  Missing files
+            simply mean a fresh run whose results land at this path.
+        cache: a :class:`~repro.core.cache.CampaignCache` to consult/populate,
+            ``None``/``True`` to use the ``REPRO_CACHE_DIR`` environment
+            default, or ``False`` to disable caching outright.  A cache hit
+            returns the stored results without executing a single episode.
         **platform_kwargs: forwarded to :class:`SimulationPlatform`.
 
     Returns:
         A :class:`CampaignResult` whose ``results`` order matches the
-        campaign's enumeration order regardless of backend.
+        campaign's enumeration order regardless of backend, sharding,
+        resumption or caching.
     """
     if isinstance(campaign, CampaignSpec):
         episodes = enumerate_campaign(campaign)
@@ -160,7 +254,68 @@ def run_campaign(
         episodes = list(campaign)
     if interventions.ml and ml_factory is None:
         raise ValueError("interventions.ml=True requires ml_factory")
+    label = interventions.label()
+    total = len(episodes)
+    ml_token = factory_token(ml_factory) if interventions.ml else None
 
+    if cache is None or cache is True:
+        cache = default_cache()
+    elif cache is False:
+        cache = None
+    if cache is not None and interventions.ml and ml_token is None:
+        # An unfingerprintable factory (lambda/closure/stateful instance
+        # without a digest_token) cannot key a cache entry safely; run
+        # uncached rather than risk serving another factory's results.
+        cache = None
+    key: Optional[str] = None
+    if cache is not None:
+        key = campaign_digest(
+            episodes, interventions, ml_token=ml_token, **platform_kwargs
+        )
+
+    # ---- resume: load and validate the prefix *before* anything can
+    # overwrite the file (a cache hit included) -------------------------
+    resume_digest: Optional[str] = None
+    prior: List[EpisodeResult] = []
+    if resume_path is not None:
+        resume_digest = (
+            key
+            if key is not None
+            else campaign_digest(
+                episodes, interventions, ml_token=ml_token, **platform_kwargs
+            )
+        )
+        if os.path.exists(resume_path):
+            recorded = read_digest_sidecar(resume_path)
+            if recorded is not None and recorded != resume_digest:
+                raise ValueError(
+                    f"{resume_path}: recorded campaign digest {recorded[:16]}… "
+                    f"does not match this invocation's {resume_digest[:16]}…; "
+                    "the file was written under different inputs (platform "
+                    "overrides, interventions or grid) — refusing to resume"
+                )
+            prior = load_results(resume_path)
+            _validate_resume_prefix(prior, episodes, label, resume_path)
+
+    # ---- cache consultation --------------------------------------------
+    if key is not None:
+        hit = cache.get(key)
+        if (
+            hit is not None
+            and len(hit) == total
+            and all(r.intervention == label for r in hit)
+        ):
+            if progress is not None:
+                progress(total, total)
+            if resume_path is not None:
+                hit_tmp = f"{os.fspath(resume_path)}.tmp"
+                save_results(hit, hit_tmp)
+                os.replace(hit_tmp, resume_path)
+                write_digest_sidecar(resume_path, resume_digest)
+            return CampaignResult(intervention=label, results=hit)
+
+    # ---- execute the remainder ------------------------------------------
+    remaining = episodes[len(prior) :]
     tasks = [
         EpisodeTask.make(
             spec,
@@ -168,8 +323,109 @@ def run_campaign(
             ml_factory=ml_factory if interventions.ml else None,
             **platform_kwargs,
         )
-        for spec in episodes
+        for spec in remaining
     ]
+    skipped = len(prior)
+    if progress is not None and skipped:
+        progress(skipped, total)
     backend = executor if executor is not None else make_executor(jobs)
-    results = backend.run(tasks, progress=progress)
-    return CampaignResult(intervention=interventions.label(), results=results)
+
+    new: List[EpisodeResult] = []
+    if resume_path is None:
+        offset_progress = (
+            None
+            if progress is None
+            else (lambda done, _remaining_total: progress(skipped + done, total))
+        )
+        new = backend.run(tasks, progress=offset_progress)
+    else:
+        # Rewrite the validated prefix once (dropping any truncated tail),
+        # then stream completed episodes to the file batch by batch: an
+        # interrupted run leaves a valid, resumable prefix behind instead
+        # of nothing.  The rewrite goes through a temp file + atomic rename
+        # so a crash mid-rewrite cannot destroy the episodes already earned;
+        # a crash mid-append only dangles a final line, which the next
+        # resume's prefix load already tolerates.  Batches are a few
+        # dispatch rounds wide so streaming costs little parallel efficiency.
+        rewrite_tmp = f"{os.fspath(resume_path)}.tmp"
+        save_results(prior, rewrite_tmp)
+        os.replace(rewrite_tmp, resume_path)
+        write_digest_sidecar(resume_path, resume_digest)
+        batch_size = max(8, 4 * getattr(backend, "jobs", 1))
+        for start in range(0, len(tasks), batch_size):
+            batch = tasks[start : start + batch_size]
+            done_before = skipped + len(new)
+            batch_progress = (
+                None
+                if progress is None
+                else (lambda done, _t, _base=done_before: progress(_base + done, total))
+            )
+            batch_results = backend.run(batch, progress=batch_progress)
+            new.extend(batch_results)
+            save_results(batch_results, resume_path, append=True)
+
+    results = prior + new
+    if cache is not None and key is not None:
+        cache.put(key, results)
+    return CampaignResult(intervention=label, results=results)
+
+
+def merge_shards(
+    paths: Sequence[PathLike], output: Optional[PathLike] = None
+) -> CampaignResult:
+    """Validate and concatenate shard JSONL files into one campaign.
+
+    Pass the shards in shard-index order (``1/N .. N/N``): shards are
+    contiguous slices of the enumeration, so in-order concatenation
+    reproduces the unsharded campaign file byte for byte.
+
+    Args:
+        paths: shard files written by ``repro campaign --shard I/N`` (an
+            empty *file* is fine — small campaigns can enumerate fewer
+            episodes than shards — but the path list must not be empty).
+        output: when given, the merged campaign is also saved there.
+
+    Raises:
+        ValueError: on an empty path list, a truncated/partial shard, mixed
+            intervention labels, or overlapping shards (the same episode
+            identity recorded twice).
+    """
+    if not paths:
+        raise ValueError("merge requires at least one shard file")
+    results: List[EpisodeResult] = []
+    first_seen: Dict[tuple, str] = {}
+    labels: Dict[str, str] = {}
+    for path in paths:
+        try:
+            shard = load_results(path, strict=True)
+        except ValueError as exc:
+            raise ValueError(
+                f"{path}: refusing to merge a partial or corrupt shard — "
+                f"re-run it to completion (resume with --resume) first ({exc})"
+            ) from exc
+        for record in shard:
+            labels.setdefault(record.intervention, str(path))
+            identity = (
+                record.scenario_id,
+                record.initial_gap,
+                record.fault_type,
+                record.seed,
+            )
+            if identity in first_seen:
+                raise ValueError(
+                    f"{path}: episode {identity} already provided by "
+                    f"{first_seen[identity]}; overlapping shards — was the "
+                    "same --shard run twice?"
+                )
+            first_seen[identity] = str(path)
+        results.extend(shard)
+    if len(labels) > 1:
+        raise ValueError(
+            f"mixed intervention labels {sorted(labels)}: shards of "
+            "different campaigns cannot be merged into one CampaignResult"
+        )
+    label = next(iter(labels)) if labels else "none"
+    merged = CampaignResult(intervention=label, results=results)
+    if output is not None:
+        merged.save(output)
+    return merged

@@ -312,17 +312,67 @@ def group_by(
 PathLike = Union[str, os.PathLike]
 
 
-def save_results(results: Sequence[EpisodeResult], path: PathLike) -> int:
+def _trim_partial_final_line(path: PathLike) -> None:
+    """Drop a dangling newline-less tail so appends never corrupt a record.
+
+    A write killed mid-record leaves an incomplete (unreadable by
+    construction) final line; appending onto it would fuse two records into
+    one malformed *interior* line that even tolerant loading rejects.
+    Missing files are left to ``open(..., "a")`` to create.
+    """
+    try:
+        handle = open(path, "rb+")
+    except FileNotFoundError:
+        return
+    with handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        if size == 0:
+            return
+        handle.seek(size - 1)
+        if handle.read(1) == b"\n":
+            return
+        # Scan backwards in blocks for the last complete line's newline.
+        cut, position = 0, size
+        block = 65536
+        while position > 0:
+            start = max(0, position - block)
+            handle.seek(start)
+            data = handle.read(position - start)
+            newline = data.rfind(b"\n")
+            if newline != -1:
+                cut = start + newline + 1
+                break
+            position = start
+        handle.truncate(cut)
+
+
+def save_results(
+    results: Sequence[EpisodeResult], path: PathLike, append: bool = False
+) -> int:
     """Write episode results as JSONL (one episode per line).
 
     The format is append-friendly and streamable, which is what makes
     campaigns cacheable and resumable: a partially-written file is still a
     valid prefix of the campaign.
 
+    Args:
+        results: the records to write.
+        path: destination file.
+        append: extend an existing file instead of replacing it — the
+            streaming mode ``run_campaign`` uses to persist completed
+            episodes as the campaign progresses.  If the file ends in a
+            dangling partial line (a previous write died mid-record), that
+            unreadable fragment is trimmed first, so the appended file is
+            byte-identical to a one-shot save of its complete records plus
+            ``results``.
+
     Returns:
         The number of records written.
     """
-    with open(path, "w", encoding="utf-8") as handle:
+    if append:
+        _trim_partial_final_line(path)
+    with open(path, "a" if append else "w", encoding="utf-8") as handle:
         for result in results:
             handle.write(
                 json.dumps(result.to_dict(), sort_keys=True, allow_nan=False)
@@ -331,7 +381,7 @@ def save_results(results: Sequence[EpisodeResult], path: PathLike) -> int:
     return len(results)
 
 
-def load_results(path: PathLike) -> List[EpisodeResult]:
+def load_results(path: PathLike, strict: bool = False) -> List[EpisodeResult]:
     """Read a JSONL file written by :func:`save_results`.
 
     Blank lines are skipped, so concatenated / appended files load cleanly.
@@ -339,8 +389,16 @@ def load_results(path: PathLike) -> List[EpisodeResult]:
     died mid-save): the valid prefix is returned with a ``RuntimeWarning``,
     which is what makes partially-written campaigns resumable.
 
+    Args:
+        path: the JSONL file to read.
+        strict: raise on a malformed final line instead of dropping it.
+            Consumers that require a *complete* campaign — shard merging,
+            the result cache — must not silently treat a truncated file as
+            the whole thing.
+
     Raises:
-        ValueError: when a non-final line is not a valid episode record.
+        ValueError: when a non-final line is not a valid episode record,
+            or (with ``strict``) when any line is.
     """
     with open(path, "r", encoding="utf-8") as handle:
         lines = handle.readlines()
@@ -356,7 +414,7 @@ def load_results(path: PathLike) -> List[EpisodeResult]:
         # ValueError also covers json.JSONDecodeError and bad enum/number
         # conversions inside from_dict.
         except (ValueError, KeyError, TypeError) as exc:
-            if position == len(numbered) - 1:
+            if position == len(numbered) - 1 and not strict:
                 warnings.warn(
                     f"{path}:{lineno}: dropping malformed final record "
                     f"(likely a truncated write: {exc}); loading the "

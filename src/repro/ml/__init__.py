@@ -21,7 +21,11 @@ none is needed at this scale.
 from repro.ml.lstm import LstmNetwork
 from repro.ml.dataset import TraceDataset, collect_fault_free_traces
 from repro.ml.trainer import TrainerConfig, train_baseline, load_or_train_cached
-from repro.ml.mitigation import MitigationController, MitigationParams
+from repro.ml.mitigation import (
+    MitigationController,
+    MitigationFactory,
+    MitigationParams,
+)
 
 __all__ = [
     "LstmNetwork",
@@ -31,5 +35,6 @@ __all__ = [
     "train_baseline",
     "load_or_train_cached",
     "MitigationController",
+    "MitigationFactory",
     "MitigationParams",
 ]

@@ -14,8 +14,9 @@ drives the actuators until the discrepancy falls back within ``b`` (lines
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -119,3 +120,54 @@ class MitigationController:
             self._s = 0.0  # line 16: reset on exit
 
         return ml_cmd, self.recovery
+
+
+class MitigationFactory:
+    """Picklable per-episode :class:`MitigationController` factory.
+
+    ``run_campaign`` takes a *factory* rather than a controller so CUSUM /
+    window state can never leak across episodes.  A lambda closing over the
+    baseline works serially but breaks the two properties large campaigns
+    need: it cannot cross the process boundary (forcing the parallel
+    executor's in-process fallback) and it has no stable identity for the
+    result cache.  This class fixes both — it pickles with the trained
+    weights inside, and exposes a ``digest_token`` that fingerprints those
+    weights, so ML campaigns parallelise and cache exactly like the other
+    intervention arms.
+
+    Args:
+        baseline: trained LSTM baseline (weights + scalers).
+        params: Algorithm 1 constants (default :class:`MitigationParams`).
+        digest_token: explicit cache-key component; defaults to a SHA-256
+            over the network weights, scalers and params, so retrained
+            weights invalidate cached campaigns automatically.
+    """
+
+    def __init__(
+        self,
+        baseline: TrainedBaseline,
+        params: Optional[MitigationParams] = None,
+        digest_token: Optional[str] = None,
+    ) -> None:
+        self.baseline = baseline
+        self.params = params or MitigationParams()
+        self.digest_token = (
+            digest_token if digest_token is not None else self._weights_token()
+        )
+
+    def _weights_token(self) -> str:
+        digest = hashlib.sha256()
+        arrays = list(self.baseline.network.params()) + [
+            self.baseline.feature_mean,
+            self.baseline.feature_std,
+            self.baseline.target_mean,
+            self.baseline.target_std,
+        ]
+        for array in arrays:
+            digest.update(np.ascontiguousarray(array, dtype=np.float64).tobytes())
+        digest.update(repr(self.params).encode("utf-8"))
+        return f"lstm:{digest.hexdigest()}"
+
+    def __call__(self) -> MitigationController:
+        """Build a fresh controller (fresh CUSUM state) for one episode."""
+        return MitigationController(self.baseline, self.params)
