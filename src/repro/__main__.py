@@ -1,6 +1,19 @@
 """Module entry point: ``python -m repro``."""
 
+import sys
+
 from repro.cli import main
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream consumer (``| head``, a closed watch loop) went away
+        # mid-print: exit quietly like a well-behaved filter, but close
+        # stdout's descriptor first so the interpreter does not raise the
+        # same error again while flushing at shutdown.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 141  # 128 + SIGPIPE, the conventional shell status
+    raise SystemExit(code)

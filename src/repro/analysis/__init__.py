@@ -5,30 +5,53 @@
   VIII from campaign results.
 * :mod:`repro.analysis.figures` — time-series extraction for Figs. 5 and 6
   (ASCII plots + CSV rows).
+* :mod:`repro.analysis.incremental` — the artifact DAG and the engine that
+  resolves it against the campaign cache (incremental reports, staleness
+  tracking, the ``report.manifest.json`` sidecar).
+* :mod:`repro.analysis.report` — the paper's report layout declared as
+  that DAG, plus the blocking ``generate_report`` entry point.
 """
 
-from repro.analysis.render import ascii_plot, format_table
+from repro.analysis.render import ascii_plot, format_placeholder, format_table
 from repro.analysis.tables import (
     Table4Row,
     Table6Row,
     table4_driving_performance,
     table5_lane_distance,
     table6_row,
+    table6_rows,
     table7_reaction_sweep,
     table8_friction_sweep,
 )
-from repro.analysis.figures import fig5_series, fig6_series
+from repro.analysis.figures import (
+    fig5_series,
+    fig6_series,
+    render_fig5_summary,
+    render_fig6_summary,
+)
+from repro.analysis.incremental import (
+    IncrementalReportEngine,
+    ReportArtifact,
+    ReportError,
+)
 
 __all__ = [
     "ascii_plot",
+    "format_placeholder",
     "format_table",
     "Table4Row",
     "Table6Row",
     "table4_driving_performance",
     "table5_lane_distance",
     "table6_row",
+    "table6_rows",
     "table7_reaction_sweep",
     "table8_friction_sweep",
     "fig5_series",
     "fig6_series",
+    "render_fig5_summary",
+    "render_fig6_summary",
+    "IncrementalReportEngine",
+    "ReportArtifact",
+    "ReportError",
 ]

@@ -99,6 +99,25 @@ def fig6_series(
     )
 
 
+def render_fig5_summary(drops: Dict[str, float]) -> str:
+    """One-line Fig. 5 summary: per-scenario approach speed drops.
+
+    Pure formatting (no simulation), so the report pipeline and the
+    golden-file suite can exercise the exact report layout from
+    precomputed data.
+    """
+    return ", ".join(f"{sid}: {drop:.1f}" for sid, drop in sorted(drops.items()))
+
+
+def render_fig6_summary(result: EpisodeResult) -> str:
+    """One-line Fig. 6 summary: attack-trace outcome and timing."""
+    outcome = result.accident.value if result.accident else "none"
+    return (
+        f"outcome: {outcome} at t={result.accident_time}; "
+        f"attack from t={result.attack_first_activation}"
+    )
+
+
 def speed_drop(series: FigureSeries) -> float:
     """Largest sustained speed drop in a trace [m/s].
 

@@ -53,6 +53,25 @@ def _fmt(cell: object) -> str:
     return str(cell)
 
 
+def format_placeholder(title: str, lines: Sequence[str], note: str = "pending") -> str:
+    """Render a not-yet-computable report artifact as a markdown stub.
+
+    The incremental report emits one of these wherever a table's campaign
+    inputs are still being computed, so the document stays structurally
+    complete (every section present, in order) while showing exactly what
+    is missing.
+
+    Args:
+        title: the artifact's section title.
+        lines: one detail line per campaign arm (indented verbatim).
+        note: short status tag appended to the title (``pending``,
+            ``failed``, ...).
+    """
+    out = [f"## {title} — {note}", ""]
+    out += [f"    {line}" for line in lines]
+    return "\n".join(out)
+
+
 def ascii_plot(
     xs: Sequence[float],
     ys: Sequence[float],

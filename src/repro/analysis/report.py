@@ -1,18 +1,50 @@
-"""Full experiment report: run every campaign and emit one markdown file.
+"""Full experiment report: the paper's evaluation as an artifact DAG.
 
 ``python -m repro report`` (see :mod:`repro.cli`) uses this to regenerate
-the complete evaluation — Tables IV-VIII plus the Fig. 5/6 trace summaries
-— into a single self-contained document, mirroring the paper's evaluation
-section layout.
+the complete evaluation — Tables IV-VIII plus the Fig. 5/6 trace
+summaries — into a single self-contained markdown document, mirroring the
+paper's evaluation section layout.
+
+The report is declared as a DAG of
+:class:`~repro.analysis.incremental.ReportArtifact`\\ s (see
+:func:`build_report_artifacts`): each table/figure names the campaign arms
+it consumes, and the
+:class:`~repro.analysis.incremental.IncrementalReportEngine` resolves
+those arms against the campaign cache and resume directory.  Two modes
+fall out:
+
+* **blocking** (:func:`generate_report`, the default) — execute every
+  missing campaign, render everything; a failed arm raises
+  :class:`~repro.analysis.incremental.ReportError` naming its digest.
+* **incremental** (``repro report --incremental``) — render every
+  artifact whose inputs are already complete, emit placeholders with
+  per-arm episode counts for the rest, and return in seconds.  Once the
+  cache is complete the incremental report is byte-identical to the
+  blocking one.
+
+The report body is deterministic in its inputs (no timestamps), which is
+what makes the manifest sidecar's byte-level reuse — and the golden-file
+regression suite — possible.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
 
-from repro.analysis.figures import fig5_series, fig6_series, speed_drop
+from repro.analysis.figures import (
+    fig5_series,
+    fig6_series,
+    render_fig5_summary,
+    render_fig6_summary,
+    speed_drop,
+)
+from repro.analysis.incremental import (
+    CampaignArm,
+    IncrementalReportEngine,
+    ReportArtifact,
+    ReportError,
+)
 from repro.analysis.tables import (
     render_table4,
     render_table5,
@@ -21,11 +53,11 @@ from repro.analysis.tables import (
     render_table8,
     table4_driving_performance,
     table5_lane_distance,
-    table6_row,
+    table6_rows,
     table7_reaction_sweep,
     table8_friction_sweep,
 )
-from repro.attacks.campaign import CampaignSpec, EpisodeSpec, enumerate_campaign
+from repro.attacks.campaign import CampaignSpec, EpisodeSpec
 from repro.attacks.fi import FaultType
 from repro.core.cache import (
     CampaignCache,
@@ -34,10 +66,17 @@ from repro.core.cache import (
     resume_file_for,
 )
 from repro.core.experiment import CampaignResult, run_campaign
-from repro.core.metrics import group_by
 from repro.safety.aebs import AebsConfig
 from repro.safety.arbitration import InterventionConfig
 from repro.sim.weather import FRICTION_CONDITIONS
+
+__all__ = [
+    "ReportConfig",
+    "ReportError",
+    "TABLE6_CONFIGS",
+    "build_report_artifacts",
+    "generate_report",
+]
 
 
 @dataclass
@@ -76,11 +115,15 @@ class ReportConfig:
         if self.log is not None:
             self.log(message)
 
-    def cache(self) -> Optional[CampaignCache]:
-        """The effective result cache (explicit dir, then environment)."""
+    def cache(self, create: bool = True) -> Optional[CampaignCache]:
+        """The effective result cache (explicit dir, then environment).
+
+        ``create=False`` yields a read-only handle that never materialises
+        the directory — what status probes must use.
+        """
         if self.cache_dir:
-            return CampaignCache(self.cache_dir)
-        return default_cache()
+            return CampaignCache(self.cache_dir, create=create)
+        return default_cache(create=create)
 
     def resume_path_for(self, digest: str) -> Optional[str]:
         """Resume file for a campaign digest under ``resume_dir`` (or None)."""
@@ -131,119 +174,208 @@ def _run_report_campaign(
     )
 
 
-def generate_report(config: ReportConfig = ReportConfig()) -> str:
-    """Run all campaigns and return the full markdown report."""
-    started = time.time()
-    sections: List[str] = [
-        "# Reproduction report",
-        "",
-        f"repetitions per grid cell: {config.repetitions}; "
-        f"campaign seed: {config.seed}",
-        "",
-    ]
+def _fenced(table: str) -> str:
+    """A plain-text table wrapped in a markdown code fence."""
+    return "\n".join(["```", table, "```"])
 
-    # ---- Tables IV & V (fault-free grid) --------------------------------
-    config._say("running fault-free campaign (Tables IV, V) ...")
-    benign = _run_report_campaign(
-        config,
-        CampaignSpec(
+
+def build_report_artifacts(config: ReportConfig) -> List[ReportArtifact]:
+    """The paper's report layout as an artifact DAG, in section order.
+
+    Tables IV and V share the fault-free campaign arm; Table VI consumes
+    one arm per intervention configuration (plus the ML arm when enabled);
+    Tables VII/VIII consume one arm per sweep point.  The Fig. 5/6
+    summaries trace single episodes directly (no campaign arms), so their
+    freshness is tracked by the traced seed instead.
+    """
+    artifacts: List[ReportArtifact] = []
+
+    # ---- Tables IV & V (one shared fault-free arm) ----------------------
+    benign = CampaignArm(
+        name="fault-free",
+        campaign=CampaignSpec(
             fault_types=[FaultType.NONE],
             repetitions=config.repetitions,
             seed=config.seed,
         ),
-        InterventionConfig(),
+        interventions=InterventionConfig(),
     )
-    sections += ["```", render_table4(table4_driving_performance(benign)), "```", ""]
-    sections += ["```", render_table5(table5_lane_distance(benign)), "```", ""]
+    artifacts.append(
+        ReportArtifact(
+            "table4",
+            "Table IV: Driving performance without attacks",
+            (benign,),
+            lambda results: _fenced(
+                render_table4(table4_driving_performance(results["fault-free"]))
+            ),
+        )
+    )
+    artifacts.append(
+        ReportArtifact(
+            "table5",
+            "Table V: Minimal distance to lane lines",
+            (benign,),
+            lambda results: _fenced(
+                render_table5(table5_lane_distance(results["fault-free"]))
+            ),
+        )
+    )
 
-    # ---- Fig. 5 / Fig. 6 summaries ---------------------------------------
-    config._say("tracing Fig. 5 / Fig. 6 episodes ...")
-    fig5 = fig5_series(seed=config.seed)
-    drops = {sid: speed_drop(s) for sid, s in fig5.items()}
-    sections += [
-        "## Fig. 5 — approach speed drops [m/s]",
-        "",
-        ", ".join(f"{sid}: {drop:.1f}" for sid, drop in sorted(drops.items())),
-        "",
-    ]
-    fig6 = fig6_series(seed=config.seed)
-    outcome = fig6.result.accident.value if fig6.result.accident else "none"
-    sections += [
-        "## Fig. 6 — RD-attack trace",
-        "",
-        f"outcome: {outcome} at t={fig6.result.accident_time}; "
-        f"attack from t={fig6.result.attack_first_activation}",
-        "",
-    ]
+    # ---- Fig. 5 / Fig. 6 summaries (traced episodes, no campaign arms) --
+    seed_input = f"traced-seed:{config.seed}"
 
-    # ---- Table VI ----------------------------------------------------------
+    def render_fig5_artifact(results) -> str:
+        config._say("tracing Fig. 5 episodes ...")
+        series = fig5_series(seed=config.seed)
+        drops = {sid: speed_drop(s) for sid, s in series.items()}
+        return "\n".join(
+            ["## Fig. 5 — approach speed drops [m/s]", "", render_fig5_summary(drops)]
+        )
+
+    artifacts.append(
+        ReportArtifact(
+            "fig5",
+            "Fig. 5 — approach speed drops [m/s]",
+            (),
+            render_fig5_artifact,
+            extra_inputs=(seed_input,),
+        )
+    )
+
+    def render_fig6_artifact(results) -> str:
+        config._say("tracing the Fig. 6 episode ...")
+        series = fig6_series(seed=config.seed)
+        return "\n".join(
+            ["## Fig. 6 — RD-attack trace", "", render_fig6_summary(series.result)]
+        )
+
+    artifacts.append(
+        ReportArtifact(
+            "fig6",
+            "Fig. 6 — RD-attack trace",
+            (),
+            render_fig6_artifact,
+            extra_inputs=(seed_input,),
+        )
+    )
+
+    # ---- Table VI (one arm per intervention configuration) --------------
     spec = CampaignSpec(repetitions=config.repetitions, seed=config.seed)
-    rows = []
-    for cfg in TABLE6_CONFIGS:
-        config._say(f"running Table VI campaign: {cfg.label()} ...")
-        campaign = _run_report_campaign(config, spec, cfg)
-        for fault, results in sorted(group_by(campaign.results, "fault_type").items()):
-            rows.append(table6_row(results, cfg.label()))
+    table6_arms = [
+        CampaignArm(name=f"table6:{cfg.label()}", campaign=spec, interventions=cfg)
+        for cfg in TABLE6_CONFIGS
+    ]
     if config.include_ml:
-        config._say("running Table VI campaign: ml ...")
-        from repro.ml import MitigationFactory, TrainerConfig, load_or_train_cached
+        from repro.ml import TrainerConfig
 
-        trainer_config = TrainerConfig()
-        ml_cfg = InterventionConfig(ml=True, name="ml")
         # Key the ML campaign by its trainer configuration so a cache hit
         # short-circuits *before* weights are loaded or trained at all.
-        ml_token = f"trainer:{trainer_config!r}"
-        campaign = None
-        cache = config.cache()
-        if cache is not None:
-            hit = cache.get(campaign_digest(spec, ml_cfg, ml_token=ml_token))
-            if hit is not None and len(hit) == len(enumerate_campaign(spec)):
-                config._say("  (cache hit — skipping training and execution)")
-                campaign = CampaignResult(intervention=ml_cfg.label(), results=hit)
-        if campaign is None:
-            baseline = load_or_train_cached(trainer_config)
-            # A picklable factory carrying the trained weights: the ML arm
-            # fans out over worker processes and caches like any other arm
-            # (a lambda here used to force the in-process fallback).
-            campaign = _run_report_campaign(
-                config,
-                spec,
-                ml_cfg,
-                ml_factory=MitigationFactory(baseline, digest_token=ml_token),
-                ml_token=ml_token,
+        table6_arms.append(
+            CampaignArm(
+                name="table6:ml",
+                campaign=spec,
+                interventions=InterventionConfig(ml=True, name="ml"),
+                ml_token=f"trainer:{TrainerConfig()!r}",
             )
-        for fault, results in sorted(group_by(campaign.results, "fault_type").items()):
-            rows.append(table6_row(results, "ml"))
-    rows.sort(key=lambda r: (r.fault_type, r.intervention))
-    sections += ["```", render_table6(rows), "```", ""]
-
-    # ---- Table VII ---------------------------------------------------------
-    sweeps = {}
-    for rt in config.reaction_times:
-        config._say(f"running Table VII sweep: reaction time {rt} s ...")
-        sweeps[rt] = _run_report_campaign(
-            config, spec, InterventionConfig(driver=True, driver_reaction_time=rt)
         )
-    sections += ["```", render_table7(table7_reaction_sweep(sweeps)), "```", ""]
 
-    # ---- Table VIII ---------------------------------------------------------
-    friction_sweeps = {}
+    def render_table6_artifact(results) -> str:
+        pairs = [
+            (cfg.label(), results[f"table6:{cfg.label()}"]) for cfg in TABLE6_CONFIGS
+        ]
+        if config.include_ml:
+            pairs.append(("ml", results["table6:ml"]))
+        return _fenced(render_table6(table6_rows(pairs)))
+
+    artifacts.append(
+        ReportArtifact(
+            "table6",
+            "Table VI: Fault injection with/without safety interventions",
+            tuple(table6_arms),
+            render_table6_artifact,
+        )
+    )
+
+    # ---- Table VII (one arm per reaction time) --------------------------
+    table7_arms = tuple(
+        CampaignArm(
+            name=f"table7:rt={rt:g}",
+            campaign=spec,
+            interventions=InterventionConfig(driver=True, driver_reaction_time=rt),
+        )
+        for rt in config.reaction_times
+    )
+
+    def render_table7_artifact(results) -> str:
+        sweeps = {
+            rt: results[f"table7:rt={rt:g}"] for rt in config.reaction_times
+        }
+        return _fenced(render_table7(table7_reaction_sweep(sweeps)))
+
+    artifacts.append(
+        ReportArtifact(
+            "table7",
+            "Table VII: Prevention rate vs driver reaction time",
+            table7_arms,
+            render_table7_artifact,
+        )
+    )
+
+    # ---- Table VIII (one arm per friction condition) --------------------
     cfg8 = InterventionConfig(
         driver=True, safety_check=True, aeb=AebsConfig.COMPROMISED
     )
-    for label, condition in FRICTION_CONDITIONS.items():
-        config._say(f"running Table VIII sweep: {label} ...")
-        friction_sweeps[label] = _run_report_campaign(
-            config,
-            CampaignSpec(
+    table8_arms = tuple(
+        CampaignArm(
+            name=f"table8:{label}",
+            campaign=CampaignSpec(
                 fault_types=[FaultType.RELATIVE_DISTANCE, FaultType.DESIRED_CURVATURE],
                 repetitions=config.repetitions,
                 seed=config.seed,
                 friction=condition,
             ),
-            cfg8,
+            interventions=cfg8,
         )
-    sections += ["```", render_table8(table8_friction_sweep(friction_sweeps)), "```", ""]
+        for label, condition in FRICTION_CONDITIONS.items()
+    )
 
-    sections.append(f"_generated in {time.time() - started:.0f} s_")
-    return "\n".join(sections)
+    def render_table8_artifact(results) -> str:
+        sweeps = {
+            label: results[f"table8:{label}"] for label in FRICTION_CONDITIONS
+        }
+        return _fenced(render_table8(table8_friction_sweep(sweeps)))
+
+    artifacts.append(
+        ReportArtifact(
+            "table8",
+            "Table VIII: Hazard prevention rate vs road friction",
+            table8_arms,
+            render_table8_artifact,
+        )
+    )
+    return artifacts
+
+
+def generate_report(
+    config: ReportConfig = ReportConfig(),
+    incremental: bool = False,
+    manifest_path: Optional[str] = None,
+) -> str:
+    """Render the report markdown (blocking by default).
+
+    Args:
+        config: grid scale and persistence locations.
+        incremental: render only artifacts whose campaign inputs are
+            already complete and emit placeholders for the rest, instead
+            of blocking on every campaign.
+        manifest_path: freshness sidecar path; when given, artifacts whose
+            input digest set is unchanged since the last run are reused
+            from the manifest without re-rendering, and newly rendered
+            bodies are recorded for the next run.
+
+    Raises:
+        ReportError: (blocking mode only) a campaign arm or renderer
+            failed; the message names the arm and its campaign digest.
+    """
+    engine = IncrementalReportEngine(config, manifest_path=manifest_path)
+    return engine.run(incremental=incremental).text

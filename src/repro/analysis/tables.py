@@ -160,6 +160,29 @@ def table6_row(results: Sequence[EpisodeResult], intervention: str) -> Table6Row
     )
 
 
+def table6_rows(
+    campaigns: Sequence[Tuple[str, CampaignResult]]
+) -> List[Table6Row]:
+    """Build the full Table VI row set from per-intervention campaigns.
+
+    Args:
+        campaigns: ``(intervention label, campaign)`` pairs, one per
+            Table VI arm (the label may differ from the campaign's own —
+            e.g. the ML row renders as plain ``"ml"``).
+
+    Returns:
+        One row per (fault type, intervention), sorted the way the paper
+        lays the table out.  Shared by the CLI ``table6`` command and the
+        report pipeline so both always agree on row order.
+    """
+    rows: List[Table6Row] = []
+    for label, campaign in campaigns:
+        for fault, results in sorted(group_by(campaign.results, "fault_type").items()):
+            rows.append(table6_row(results, label))
+    rows.sort(key=lambda r: (r.fault_type, r.intervention))
+    return rows
+
+
 def render_table6(rows: Sequence[Table6Row]) -> str:
     """Plain-text Table VI."""
     return format_table(

@@ -16,7 +16,7 @@ invariant ``repro merge`` and the sharding test suite rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, TypeVar
+from typing import List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.attacks.fi import FaultType
 from repro.sim.scenarios import INITIAL_GAPS, SCENARIO_IDS
@@ -174,6 +174,21 @@ class CampaignSpec:
                 raise ValueError(
                     f"initial_gaps must be positive bumper gaps [m], got {gap}"
                 )
+
+
+def as_episode_list(
+    campaign: Union["CampaignSpec", Sequence[EpisodeSpec]]
+) -> List[EpisodeSpec]:
+    """Normalise a spec-or-episode-list campaign argument to an episode list.
+
+    Every layer that accepts campaigns (execution, digesting, the report
+    pipeline) takes either a :class:`CampaignSpec` or a pre-enumerated
+    (possibly sharded) episode sequence; this is the single place that
+    flattens the union, so all of them agree on what a campaign *is*.
+    """
+    if isinstance(campaign, CampaignSpec):
+        return enumerate_campaign(campaign)
+    return list(campaign)
 
 
 def enumerate_campaign(

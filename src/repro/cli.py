@@ -11,8 +11,25 @@ Commands:
 * ``table8``    — road-friction sweep.
 * ``fig5`` / ``fig6`` — trace an episode and print ASCII plots (optionally
   export CSV).
-* ``report``    — run everything and write a markdown report.
+* ``report``    — run everything and write a markdown report; with
+  ``--incremental``, render only what the cache/resume directory already
+  covers and emit placeholders for the rest.
+* ``report-status`` — per-artifact staleness (cached / resumable-partial /
+  missing, with episode counts) without executing anything; ``--json``
+  emits the machine-readable form.
 * ``train-ml``  — train (and cache) the LSTM baseline.
+
+Incremental reports
+-------------------
+
+The report is an artifact DAG (one node per table/figure) resolved against
+the campaign cache: ``repro report-status`` shows which artifacts are
+complete, ``repro report --incremental`` renders those and placeholders
+for the rest, and a ``<output>.manifest.json`` sidecar records the digest
+set each rendered artifact was built from, so re-runs skip artifacts whose
+inputs are unchanged.  Filling the cache (e.g. ``repro table6 --cache-dir
+...`` or remote shards landing in a shared cache directory) and re-running
+``repro report --incremental`` fills the report in as results arrive.
 
 Parallel execution
 ------------------
@@ -50,6 +67,7 @@ Environment variables:
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import os
 import re
@@ -57,8 +75,14 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.figures import fig5_series, fig6_series
+from repro.analysis.incremental import (
+    IncrementalReportEngine,
+    ReportError,
+    manifest_path_for,
+    status_document,
+)
 from repro.analysis.render import ascii_plot
-from repro.analysis.report import ReportConfig, generate_report
+from repro.analysis.report import ReportConfig
 from repro.analysis.tables import (
     render_table4,
     render_table5,
@@ -133,6 +157,18 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _reaction_times(text: str) -> tuple:
+    try:
+        values = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated reaction times in seconds, got {text!r}"
+        )
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one reaction time")
+    return values
+
+
 def _parse_shard(text: str) -> ShardSpec:
     try:
         return ShardSpec.parse(text)
@@ -147,6 +183,42 @@ def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="campaign result cache directory "
         "(default: REPRO_CACHE_DIR env var, then no caching)",
+    )
+
+
+def _add_report_scale_flags(parser: argparse.ArgumentParser) -> None:
+    """The grid-scale flags ``report`` and ``report-status`` share.
+
+    Both commands must build the *same* artifact DAG from the same flags,
+    or status would report on different campaigns than the report runs.
+    """
+    parser.add_argument("--reps", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--ml", action="store_true", help="include the ML baseline")
+    parser.add_argument(
+        "--reaction-times",
+        type=_reaction_times,
+        default=None,
+        metavar="CSV",
+        help="comma-separated Table VII sweep points in seconds "
+        "(default: 1.0,1.5,2.0,2.5,3.0,3.5)",
+    )
+
+
+def _report_config_from_args(args, log=None) -> ReportConfig:
+    """A ReportConfig from the shared report/report-status flags."""
+    kwargs = {}
+    if args.reaction_times is not None:
+        kwargs["reaction_times"] = args.reaction_times
+    return ReportConfig(
+        repetitions=args.reps,
+        seed=args.seed,
+        include_ml=args.ml,
+        jobs=getattr(args, "jobs", None),
+        cache_dir=getattr(args, "cache_dir", None),
+        resume_dir=getattr(args, "resume", None),
+        log=log,
+        **kwargs,
     )
 
 
@@ -306,11 +378,38 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--csv", default=None, help="write the trace CSV here")
 
     rep = sub.add_parser("report", help="full markdown report")
-    rep.add_argument("--reps", type=int, default=2)
-    rep.add_argument("--seed", type=int, default=2025)
-    rep.add_argument("--ml", action="store_true", help="include the ML baseline")
+    _add_report_scale_flags(rep)
     rep.add_argument("--output", default="report.md")
+    rep.add_argument(
+        "--incremental",
+        action="store_true",
+        help="render only artifacts whose campaign inputs are already "
+        "complete (cache/resume) and emit placeholders for the rest, "
+        "instead of blocking on every campaign",
+    )
     _add_grid_persistence_flags(rep)
+
+    st = sub.add_parser(
+        "report-status",
+        help="per-artifact report staleness (no episodes are executed)",
+    )
+    _add_report_scale_flags(st)
+    st.add_argument(
+        "--output",
+        default="report.md",
+        help="report path whose manifest sidecar is consulted "
+        "(default: report.md)",
+    )
+    st.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    _add_cache_flag(st)
+    st.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume directory of digest-named campaign JSONL files",
+    )
 
     ml = sub.add_parser("train-ml", help="train and cache the LSTM baseline")
     ml.add_argument("--epochs", type=int, default=4)
@@ -439,20 +538,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "table6":
         from repro.analysis.report import TABLE6_CONFIGS
-        from repro.analysis.tables import render_table6, table6_row
-        from repro.core.metrics import group_by
+        from repro.analysis.tables import render_table6, table6_rows
 
         spec = CampaignSpec(repetitions=args.reps, seed=args.seed)
-        rows = []
+        pairs = []
         for cfg in TABLE6_CONFIGS:
             print(f"running {cfg.label()} ...", file=sys.stderr)
-            campaign = run_campaign(spec, cfg, **_persistence_kwargs(args, spec, cfg))
-            for fault, results in sorted(
-                group_by(campaign.results, "fault_type").items()
-            ):
-                rows.append(table6_row(results, cfg.label()))
-        rows.sort(key=lambda r: (r.fault_type, r.intervention))
-        print(render_table6(rows))
+            pairs.append(
+                (
+                    cfg.label(),
+                    run_campaign(spec, cfg, **_persistence_kwargs(args, spec, cfg)),
+                )
+            )
+        print(render_table6(table6_rows(pairs)))
         return 0
 
     if args.command == "table7":
@@ -508,19 +606,63 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "report":
-        config = ReportConfig(
-            repetitions=args.reps,
-            seed=args.seed,
-            include_ml=args.ml,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            resume_dir=args.resume,
-            log=print,
-        )
-        text = generate_report(config)
-        with open(args.output, "w") as handle:
-            handle.write(text)
-        print(f"wrote {args.output}")
+        config = _report_config_from_args(args, log=print)
+        manifest = manifest_path_for(args.output)
+        # Fail on an unwritable destination *before* potentially hours of
+        # campaign execution, not at the final write.
+        output_dir = os.path.dirname(args.output) or "."
+        if not os.path.isdir(output_dir):
+            print(
+                f"repro: error: output directory {output_dir!r} does not "
+                "exist",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            engine = IncrementalReportEngine(config, manifest_path=manifest)
+            outcome = engine.run(incremental=args.incremental)
+            with open(args.output, "w") as handle:
+                handle.write(outcome.text)
+        except (ReportError, ValueError, OSError) as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+        done = len(outcome.rendered_ids) + len(outcome.reused_ids)
+        incomplete = outcome.pending_ids + outcome.failed_ids
+        if incomplete:
+            print(
+                f"wrote {args.output} ({done}/{len(outcome.artifacts)} "
+                f"artifacts; awaiting: {', '.join(incomplete)} — see "
+                f"'repro report-status')"
+            )
+        else:
+            print(f"wrote {args.output}")
+        return 0
+
+    if args.command == "report-status":
+        config = _report_config_from_args(args)
+        manifest = manifest_path_for(args.output)
+        try:
+            engine = IncrementalReportEngine(config, manifest_path=manifest)
+            statuses = engine.status()
+        except (ValueError, OSError) as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(status_document(statuses, manifest), indent=2))
+            return 0
+        for status in statuses:
+            complete_arms = sum(1 for a in status.arms if a.complete)
+            note = ""
+            if status.arms:
+                note = f"  ({complete_arms}/{len(status.arms)} arms complete)"
+            if status.stale:
+                note += "  [manifest stale]"
+            print(f"{status.artifact_id:<8} {status.state:<8}{note}")
+            for arm in status.arms:
+                print(
+                    f"    {arm.name:<28} {arm.state:<19} "
+                    f"{arm.done}/{arm.total} episodes"
+                )
         return 0
 
     if args.command == "train-ml":

@@ -32,7 +32,7 @@ import types
 import warnings
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.attacks.campaign import CampaignSpec, EpisodeSpec, enumerate_campaign
+from repro.attacks.campaign import CampaignSpec, EpisodeSpec, as_episode_list
 from repro.core.metrics import EpisodeResult, PathLike, load_results, save_results
 from repro.safety.arbitration import InterventionConfig
 
@@ -128,10 +128,7 @@ def campaign_digest(
     Returns:
         A 64-character lowercase hex digest.
     """
-    if isinstance(campaign, CampaignSpec):
-        episodes = enumerate_campaign(campaign)
-    else:
-        episodes = list(campaign)
+    episodes = as_episode_list(campaign)
     payload = {
         "format": DIGEST_FORMAT,
         "episodes": [canonical_episode(e) for e in episodes],
@@ -151,12 +148,16 @@ class CampaignCache:
     inspection — works on cache entries directly.
 
     Args:
-        root: cache directory; created if missing.
+        root: cache directory; created if missing (unless ``create=False``).
+        create: set False for read-only consumers (status probes): the
+            directory is left untouched and a missing one simply yields
+            misses.  ``put`` requires the directory to exist.
     """
 
-    def __init__(self, root: PathLike) -> None:
+    def __init__(self, root: PathLike, create: bool = True) -> None:
         self.root = str(root)
-        os.makedirs(self.root, exist_ok=True)
+        if create:
+            os.makedirs(self.root, exist_ok=True)
 
     def path(self, key: str) -> str:
         """Filesystem path of the entry for ``key`` (whether or not present)."""
@@ -209,6 +210,22 @@ class CampaignCache:
                 os.remove(tmp)
         return path
 
+    def entry_count(self, key: str) -> Optional[int]:
+        """Record count of the entry for ``key``, or None when absent.
+
+        A plain line count — no records are parsed — so staleness probes
+        (``repro report-status`` runs one per campaign arm) stay cheap even
+        over large caches.  A corrupt entry therefore *counts* here; the
+        authoritative :meth:`get` still discards it on actual use, so the
+        worst case is an optimistic status display, never wrong results.
+        """
+        path = self.path(key)
+        try:
+            with open(path, "rb") as handle:
+                return sum(1 for line in handle if line.strip())
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self.path(key))
 
@@ -227,27 +244,39 @@ class CampaignCache:
         return f"CampaignCache(root={self.root!r}, entries={len(self)})"
 
 
-def default_cache() -> Optional[CampaignCache]:
+def default_cache(create: bool = True) -> Optional[CampaignCache]:
     """The environment-configured cache: ``REPRO_CACHE_DIR``, or None.
 
     An empty value disables caching, matching the unset behaviour.
+    ``create`` is forwarded to :class:`CampaignCache` (read-only consumers
+    pass False so a status query never materialises the directory).
     """
     root = os.environ.get("REPRO_CACHE_DIR")
     if not root:
         return None
-    return CampaignCache(root)
+    return CampaignCache(root, create=create)
 
 
-def resume_file_for(directory: PathLike, digest: str) -> str:
-    """The digest-named resume file for a campaign inside ``directory``.
+def resume_entry_path(directory: PathLike, digest: str) -> str:
+    """The digest-named resume file path inside ``directory``.
 
     The single definition of the naming scheme (``<digest[:16]>.jsonl``)
     shared by the CLI grid commands and the report pipeline, so both always
-    resume the same campaign from the same file.  Creates ``directory`` if
-    missing.
+    resume the same campaign from the same file.  Pure path arithmetic —
+    read-only consumers (``repro report-status``) must be able to probe
+    without touching the filesystem.
+    """
+    return os.path.join(str(directory), f"{digest[:16]}.jsonl")
+
+
+def resume_file_for(directory: PathLike, digest: str) -> str:
+    """:func:`resume_entry_path`, creating ``directory`` if missing.
+
+    The write-side variant used before a campaign actually resumes into
+    the file.
     """
     os.makedirs(directory, exist_ok=True)
-    return os.path.join(str(directory), f"{digest[:16]}.jsonl")
+    return resume_entry_path(directory, digest)
 
 
 def write_digest_sidecar(path: PathLike, digest: str) -> str:
@@ -274,5 +303,5 @@ def read_digest_sidecar(path: PathLike) -> Optional[str]:
     try:
         with open(sidecar, "r", encoding="utf-8") as handle:
             return handle.read().strip() or None
-    except FileNotFoundError:
+    except (FileNotFoundError, NotADirectoryError):
         return None

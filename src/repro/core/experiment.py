@@ -54,7 +54,7 @@ import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.attacks.campaign import CampaignSpec, EpisodeSpec, enumerate_campaign
+from repro.attacks.campaign import CampaignSpec, EpisodeSpec, as_episode_list
 from repro.core.cache import (
     CampaignCache,
     campaign_digest,
@@ -248,10 +248,7 @@ def run_campaign(
         campaign's enumeration order regardless of backend, sharding,
         resumption or caching.
     """
-    if isinstance(campaign, CampaignSpec):
-        episodes = enumerate_campaign(campaign)
-    else:
-        episodes = list(campaign)
+    episodes = as_episode_list(campaign)
     if interventions.ml and ml_factory is None:
         raise ValueError("interventions.ml=True requires ml_factory")
     label = interventions.label()

@@ -427,3 +427,22 @@ def load_results(path: PathLike, strict: bool = False) -> List[EpisodeResult]:
                 f"{path}:{lineno}: malformed episode record: {exc}"
             ) from exc
     return results
+
+
+def count_records(path: PathLike) -> int:
+    """Number of valid episode records in the resumable prefix of ``path``.
+
+    The cheap freshness probe behind ``repro report-status``: a missing
+    file counts as zero, a truncated final line is silently dropped (it is
+    exactly what resume will drop), and a file corrupted anywhere earlier
+    counts as zero — resume would refuse it, so none of its records are
+    usable as-is.
+    """
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            return len(load_results(path))
+    except (FileNotFoundError, NotADirectoryError):
+        return 0
+    except ValueError:
+        return 0

@@ -1,0 +1,129 @@
+"""Regenerate the golden-file fixtures and expected renderings.
+
+Run from the repository root after an *intentional* change to table
+layouts or fixture campaigns::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Two kinds of files live next to this script:
+
+* ``*_campaign.jsonl`` — small seeded campaign fixtures, produced once by
+  the real simulator (capped at ``MAX_STEPS`` so regeneration stays fast)
+  and then frozen.  The golden tests never re-simulate: they only load
+  these records and render them.
+* ``*.txt`` — the expected byte-for-byte renderings of every paper table
+  (and the figure summary lines) built from those fixtures.  Each file
+  ends with a single trailing newline.
+
+``tests/test_golden_tables.py`` asserts current renderings match these
+files exactly, so a formatting refactor that drifts from the paper's
+layout fails loudly instead of silently.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.figures import render_fig5_summary, render_fig6_summary
+from repro.analysis.render import format_placeholder
+from repro.analysis.tables import (
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8,
+    table4_driving_performance,
+    table5_lane_distance,
+    table6_rows,
+    table7_reaction_sweep,
+    table8_friction_sweep,
+)
+from repro.attacks.campaign import CampaignSpec
+from repro.attacks.fi import FaultType
+from repro.core.experiment import run_campaign
+from repro.safety.arbitration import InterventionConfig
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: Step cap for fixture episodes: small enough to regenerate in seconds,
+#: large enough that attacks activate and metrics are non-trivial.
+MAX_STEPS = 400
+
+BENIGN_SPEC = CampaignSpec(fault_types=[FaultType.NONE], repetitions=1, seed=7)
+ATTACK_SPEC = CampaignSpec(scenario_ids=("S1", "S4"), repetitions=1, seed=7)
+ATTACK_CFG = InterventionConfig(driver=True, safety_check=True, name="driver+check")
+
+#: Fixed Fig. 5 drop data: the golden covers the summary *formatting*
+#: (sorting, precision), independent of the simulator.
+FIG5_DROPS = {
+    "S1": 12.104,
+    "S2": 9.95,
+    "S3": 0.0,
+    "S4": 14.5,
+    "S5": 3.25,
+    "S6": 7.0,
+}
+
+
+def _write(name: str, text: str) -> None:
+    path = os.path.join(HERE, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    print(f"wrote {path}")
+
+
+def main() -> None:
+    benign = run_campaign(
+        BENIGN_SPEC, InterventionConfig(), cache=False, max_steps=MAX_STEPS
+    )
+    attack = run_campaign(
+        ATTACK_SPEC, ATTACK_CFG, cache=False, max_steps=MAX_STEPS
+    )
+    benign.save(os.path.join(HERE, "benign_campaign.jsonl"))
+    attack.save(os.path.join(HERE, "attack_campaign.jsonl"))
+    print("wrote campaign fixtures")
+
+    _write("table4.txt", render_table4(table4_driving_performance(benign)))
+    _write("table5.txt", render_table5(table5_lane_distance(benign)))
+    _write(
+        "table6.txt",
+        render_table6(table6_rows([(ATTACK_CFG.label(), attack)])),
+    )
+    # The sweeps reuse the attack fixture under several keys: the goldens
+    # pin column ordering and cell formatting, not sweep physics.
+    _write(
+        "table7.txt",
+        render_table7(table7_reaction_sweep({1.0: attack, 2.5: attack})),
+    )
+    _write(
+        "table8.txt",
+        render_table8(
+            table8_friction_sweep(
+                {
+                    "default": attack,
+                    "25% off": attack,
+                    "50% off": attack,
+                    "75% off": attack,
+                }
+            )
+        ),
+    )
+    _write("fig5_summary.txt", render_fig5_summary(FIG5_DROPS))
+    _write("fig6_summary.txt", render_fig6_summary(attack.results[0]))
+    _write(
+        "placeholder.txt",
+        format_placeholder(
+            "Table VI: Fault injection with/without safety interventions",
+            [
+                "table6:none    cached              36/36 episodes",
+                "table6:driver  resumable-partial   12/36 episodes",
+                "table6:ml      missing             0/36 episodes",
+            ],
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Golden-file regression suite for every paper table and figure summary.
+
+The fixtures under ``tests/golden/`` are small seeded campaigns produced
+once by the real simulator and frozen; each test loads a fixture, renders
+the corresponding paper artifact, and compares the result **byte for
+byte** against the committed golden file.  A table-formatting refactor
+that drifts from the paper's layout (column order, precision, separators,
+undefined-value markers) fails here instead of silently corrupting every
+future report.
+
+To update the goldens after an intentional layout change::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+(see that script's docstring for what is and is not covered).
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.figures import render_fig5_summary, render_fig6_summary
+from repro.analysis.render import format_placeholder
+from repro.analysis.tables import (
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8,
+    table4_driving_performance,
+    table5_lane_distance,
+    table6_rows,
+    table7_reaction_sweep,
+    table8_friction_sweep,
+)
+from repro.core.experiment import CampaignResult
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def golden(name: str) -> str:
+    """A committed golden file, without its single trailing newline."""
+    path = os.path.join(GOLDEN_DIR, name)
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        text = handle.read()
+    assert text.endswith("\n"), f"{name}: golden files end with one newline"
+    assert not text.endswith("\n\n"), f"{name}: exactly one trailing newline"
+    return text[:-1]
+
+
+@pytest.fixture(scope="module")
+def benign() -> CampaignResult:
+    return CampaignResult.load(os.path.join(GOLDEN_DIR, "benign_campaign.jsonl"))
+
+
+@pytest.fixture(scope="module")
+def attack() -> CampaignResult:
+    return CampaignResult.load(os.path.join(GOLDEN_DIR, "attack_campaign.jsonl"))
+
+
+class TestFixtureIntegrity:
+    def test_benign_fixture_shape(self, benign):
+        assert len(benign.results) == 12  # 6 scenarios x 2 gaps x 1 rep
+        assert benign.intervention == "none"
+        assert {r.fault_type for r in benign.results} == {"none"}
+
+    def test_attack_fixture_shape(self, attack):
+        assert len(attack.results) == 12  # 3 faults x 2 gaps x 2 scenarios
+        assert attack.intervention == "driver+check"
+        assert {r.fault_type for r in attack.results} == {
+            "relative_distance",
+            "desired_curvature",
+            "mixed",
+        }
+
+
+class TestTableGoldens:
+    def test_table4(self, benign):
+        rendered = render_table4(table4_driving_performance(benign))
+        assert rendered == golden("table4.txt")
+
+    def test_table5(self, benign):
+        rendered = render_table5(table5_lane_distance(benign))
+        assert rendered == golden("table5.txt")
+
+    def test_table6(self, attack):
+        rendered = render_table6(table6_rows([("driver+check", attack)]))
+        assert rendered == golden("table6.txt")
+
+    def test_table7(self, attack):
+        rendered = render_table7(
+            table7_reaction_sweep({1.0: attack, 2.5: attack})
+        )
+        assert rendered == golden("table7.txt")
+
+    def test_table8(self, attack):
+        rendered = render_table8(
+            table8_friction_sweep(
+                {
+                    "default": attack,
+                    "25% off": attack,
+                    "50% off": attack,
+                    "75% off": attack,
+                }
+            )
+        )
+        assert rendered == golden("table8.txt")
+
+
+class TestFigureGoldens:
+    def test_fig5_summary(self):
+        drops = {
+            "S1": 12.104,
+            "S2": 9.95,
+            "S3": 0.0,
+            "S4": 14.5,
+            "S5": 3.25,
+            "S6": 7.0,
+        }
+        assert render_fig5_summary(drops) == golden("fig5_summary.txt")
+
+    def test_fig6_summary(self, attack):
+        assert render_fig6_summary(attack.results[0]) == golden("fig6_summary.txt")
+
+
+class TestPlaceholderGolden:
+    def test_placeholder_layout(self):
+        rendered = format_placeholder(
+            "Table VI: Fault injection with/without safety interventions",
+            [
+                "table6:none    cached              36/36 episodes",
+                "table6:driver  resumable-partial   12/36 episodes",
+                "table6:ml      missing             0/36 episodes",
+            ],
+        )
+        assert rendered == golden("placeholder.txt")

@@ -1,0 +1,153 @@
+"""Edge-case tests for the report persistence glue.
+
+``ReportConfig.resume_path_for`` and ``_run_report_campaign`` are the
+seams between the report generator and PR 2's cache/resume layer; these
+cover the corners the incremental engine leans on: a resume file
+truncated mid-record, the cache and resume directory disagreeing, and a
+complete resume file served without execution.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.report import ReportConfig, _run_report_campaign
+from repro.attacks.campaign import CampaignSpec, as_episode_list
+from repro.attacks.fi import FaultType
+from repro.core.cache import (
+    campaign_digest,
+    resume_file_for,
+    write_digest_sidecar,
+)
+from repro.core.metrics import EpisodeResult, save_results
+from repro.safety.arbitration import InterventionConfig
+
+#: Two fast fault-free episodes: big enough to resume, small enough to run.
+SMALL = CampaignSpec(
+    fault_types=[FaultType.NONE],
+    scenario_ids=("S1",),
+    initial_gaps=(60.0,),
+    repetitions=2,
+    seed=11,
+)
+CFG = InterventionConfig()
+
+
+def fake_results(campaign, label):
+    return [
+        EpisodeResult(
+            scenario_id=e.scenario_id,
+            initial_gap=e.initial_gap,
+            fault_type=e.fault_type.value,
+            seed=e.seed,
+            intervention=label,
+        )
+        for e in as_episode_list(campaign)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _no_env_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
+class TestResumePathFor:
+    def test_none_without_resume_dir(self):
+        assert ReportConfig().resume_path_for("ab" * 32) is None
+
+    def test_digest_named_file_and_directory_creation(self, tmp_path):
+        resume_dir = tmp_path / "resume" / "nested"
+        config = ReportConfig(resume_dir=str(resume_dir))
+        digest = "ab" * 32
+        path = config.resume_path_for(digest)
+        assert os.path.basename(path) == f"{digest[:16]}.jsonl"
+        assert os.path.isdir(resume_dir)  # created on first use
+
+    def test_same_digest_same_file_as_cli_helper(self, tmp_path):
+        """The report and the CLI grid commands must resume from the same
+        file for the same campaign."""
+        config = ReportConfig(resume_dir=str(tmp_path))
+        digest = campaign_digest(SMALL, CFG)
+        assert config.resume_path_for(digest) == resume_file_for(tmp_path, digest)
+
+
+class TestRunReportCampaignResume:
+    def test_truncated_mid_line_resume_completes(self, tmp_path):
+        """A resume file cut mid-record (process killed during a write)
+        loads as its valid prefix; the re-run executes only the remainder
+        and converges on the full campaign."""
+        config = ReportConfig(resume_dir=str(tmp_path))
+        full = _run_report_campaign(config, SMALL, CFG)
+        assert len(full.results) == 2
+
+        path = config.resume_path_for(campaign_digest(SMALL, CFG))
+        size = os.path.getsize(path)
+        with open(path, "rb+") as handle:
+            handle.truncate(size - 25)  # cut the final record mid-line
+
+        with pytest.warns(RuntimeWarning, match="malformed final record"):
+            resumed = _run_report_campaign(config, SMALL, CFG)
+        assert resumed.results == full.results
+        # The file is whole again: a third run loads it without warnings.
+        again = _run_report_campaign(config, SMALL, CFG)
+        assert again.results == full.results
+
+    def test_complete_resume_file_is_served_without_execution(self, tmp_path):
+        """Distinctive fake records (steps=0, no measurements) coming back
+        verbatim proves no episode was executed."""
+        config = ReportConfig(resume_dir=str(tmp_path))
+        digest = campaign_digest(SMALL, CFG)
+        path = resume_file_for(config.resume_dir, digest)
+        fakes = fake_results(SMALL, "none")
+        save_results(fakes, path)
+        write_digest_sidecar(path, digest)
+        result = _run_report_campaign(config, SMALL, CFG)
+        assert result.results == fakes
+
+
+class TestCacheResumeDisagreement:
+    def test_cache_hit_refuses_foreign_resume_file(self, tmp_path):
+        """Cache says 'complete', the resume file holds a different
+        campaign: the disagreement must surface, not silently resolve in
+        the cache's favour by clobbering the file."""
+        config = ReportConfig(
+            cache_dir=str(tmp_path / "cache"), resume_dir=str(tmp_path / "resume")
+        )
+        digest = campaign_digest(SMALL, CFG)
+        config.cache().put(digest, fake_results(SMALL, "none"))
+        path = resume_file_for(config.resume_dir, digest)
+        save_results([EpisodeResult(seed=1, intervention="driver")], path)
+        stamp = open(path, "rb").read()
+        with pytest.raises(ValueError, match="refusing to resume"):
+            _run_report_campaign(config, SMALL, CFG)
+        assert open(path, "rb").read() == stamp  # untouched
+
+    def test_cache_hit_fills_missing_resume_file(self, tmp_path):
+        """No disagreement when the resume file simply does not exist yet:
+        the hit is served and materialised as a (complete) resume file."""
+        config = ReportConfig(
+            cache_dir=str(tmp_path / "cache"), resume_dir=str(tmp_path / "resume")
+        )
+        digest = campaign_digest(SMALL, CFG)
+        fakes = fake_results(SMALL, "none")
+        config.cache().put(digest, fakes)
+        result = _run_report_campaign(config, SMALL, CFG)
+        assert result.results == fakes
+        path = resume_file_for(config.resume_dir, digest)
+        assert os.path.exists(path)
+        assert len(open(path).read().splitlines()) == len(fakes)
+
+    def test_resume_ahead_of_cache_repopulates_cache(self, tmp_path):
+        """A complete resume file with an empty cache: the campaign is
+        served from the file and the cache entry is written back."""
+        config = ReportConfig(
+            cache_dir=str(tmp_path / "cache"), resume_dir=str(tmp_path / "resume")
+        )
+        digest = campaign_digest(SMALL, CFG)
+        path = resume_file_for(config.resume_dir, digest)
+        fakes = fake_results(SMALL, "none")
+        save_results(fakes, path)
+        write_digest_sidecar(path, digest)
+        result = _run_report_campaign(config, SMALL, CFG)
+        assert result.results == fakes
+        assert config.cache().get(digest) == fakes
