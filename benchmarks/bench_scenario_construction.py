@@ -1,0 +1,38 @@
+"""Scenario-construction throughput: episodes built per second per family.
+
+Not a paper table — this bench prices the family-registry dispatch layer.
+Episode setup (registry lookup, parameter resolution, RNG derivation,
+road/actor construction) runs once per episode of every campaign, so a
+regression here multiplies across the full grids.  The paper families
+measure the registry against the pre-registry hardcoded constructors
+(whose work they inherited unchanged); the workload families price their
+richer worlds (custom roads, platoons).
+
+Each benchmark reports ``builds_per_second`` in ``extra_info`` so runs
+can be compared across commits at a glance.
+"""
+
+import pytest
+
+from repro.sim.families import registered_families
+from repro.sim.scenarios import ScenarioConfig, build_scenario
+
+#: Worlds built per timed round — enough to amortise timer overhead.
+BUILDS_PER_ROUND = 25
+
+
+def _build_many(family_id: str) -> int:
+    total_actors = 0
+    for seed in range(BUILDS_PER_ROUND):
+        world = build_scenario(ScenarioConfig(scenario_id=family_id, seed=seed))
+        total_actors += len(world.agents)
+    return total_actors
+
+
+@pytest.mark.parametrize("family_id", sorted(registered_families()))
+def test_scenario_construction_rate(benchmark, family_id):
+    total_actors = benchmark(_build_many, family_id)
+    assert total_actors >= BUILDS_PER_ROUND  # every world has traffic
+    benchmark.extra_info["builds_per_second"] = (
+        BUILDS_PER_ROUND / benchmark.stats.stats.mean
+    )

@@ -49,7 +49,19 @@ from repro.core import (
     save_results,
 )
 from repro.safety import AebsConfig, InterventionConfig
-from repro.sim import SCENARIO_IDS, FRICTION_CONDITIONS, ScenarioConfig, build_scenario
+from repro.sim import (
+    SCENARIO_IDS,
+    FRICTION_CONDITIONS,
+    ParamSpec,
+    ScenarioConfig,
+    ScenarioFamily,
+    UnknownScenarioError,
+    build_scenario,
+    family_catalog,
+    get_family,
+    register_family,
+    registered_families,
+)
 
 __version__ = "1.0.0"
 
@@ -80,7 +92,14 @@ __all__ = [
     "InterventionConfig",
     "SCENARIO_IDS",
     "FRICTION_CONDITIONS",
+    "ParamSpec",
     "ScenarioConfig",
+    "ScenarioFamily",
+    "UnknownScenarioError",
     "build_scenario",
+    "family_catalog",
+    "get_family",
+    "register_family",
+    "registered_families",
     "__version__",
 ]

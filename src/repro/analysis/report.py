@@ -29,6 +29,7 @@ regression suite — possible.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Union
 
@@ -46,6 +47,8 @@ from repro.analysis.incremental import (
     ReportError,
 )
 from repro.analysis.tables import (
+    family_sweep_rows,
+    render_family_sweep,
     render_table4,
     render_table5,
     render_table6,
@@ -59,6 +62,7 @@ from repro.analysis.tables import (
 )
 from repro.attacks.campaign import CampaignSpec, EpisodeSpec
 from repro.attacks.fi import FaultType
+from repro.sim.families import get_family, param_token
 from repro.core.cache import (
     CampaignCache,
     campaign_digest,
@@ -74,6 +78,7 @@ __all__ = [
     "ReportConfig",
     "ReportError",
     "TABLE6_CONFIGS",
+    "build_family_artifact",
     "build_report_artifacts",
     "generate_report",
 ]
@@ -99,6 +104,10 @@ class ReportConfig:
         resume_dir: directory of per-campaign JSONL files keyed by content
             digest; an interrupted report re-run skips completed campaigns
             and resumes the partially-written one.
+        extra_families: registered scenario-family ids to append as sweep
+            artifacts after the paper tables (``repro report --family``);
+            each family contributes one campaign arm per point of its
+            declared ``report_axes`` sweep.
         log: progress sink (e.g. ``print``).
     """
 
@@ -109,6 +118,7 @@ class ReportConfig:
     jobs: Optional[int] = None
     cache_dir: Optional[str] = None
     resume_dir: Optional[str] = None
+    extra_families: tuple = ()
     log: Optional[Callable[[str], None]] = None
 
     def _say(self, message: str) -> None:
@@ -353,7 +363,75 @@ def build_report_artifacts(config: ReportConfig) -> List[ReportArtifact]:
             render_table8_artifact,
         )
     )
+
+    # ---- extra scenario-family sweeps (registry workloads) --------------
+    for family_id in config.extra_families:
+        artifacts.append(build_family_artifact(config, family_id))
     return artifacts
+
+
+def build_family_artifact(config: ReportConfig, family_id: str) -> ReportArtifact:
+    """A sweep artifact for one registered scenario family.
+
+    One campaign arm per point of the family's declared ``report_axes``
+    sweep (a single default-parameter arm when the family declares no
+    sweep), each named ``<family>:<point>`` so incremental placeholders
+    and ``report-status`` label the exact sweep point they await.  The
+    campaign runs the paper's strongest non-ML intervention stack
+    (driver + safety check + compromised AEB) under the relative-distance
+    attack, over the family's default initial gaps.
+
+    Raises:
+        UnknownScenarioError: ``family_id`` names no registered family.
+    """
+    family = get_family(family_id)
+    interventions = InterventionConfig(
+        driver=True, safety_check=True, aeb=AebsConfig.COMPROMISED
+    )
+    points: List[tuple] = [()]
+    if family.report_axes:
+        names = [name for name, _ in family.report_axes]
+        points = [
+            tuple(zip(names, combo))
+            for combo in itertools.product(
+                *(values for _, values in family.report_axes)
+            )
+        ]
+    labelled_arms = []
+    for point in points:
+        label = param_token(point) if point else "default"
+        labelled_arms.append(
+            (
+                label,
+                CampaignArm(
+                    name=f"{family_id}:{label}",
+                    campaign=CampaignSpec(
+                        fault_types=(FaultType.RELATIVE_DISTANCE,),
+                        scenario_ids=(family_id,),
+                        initial_gaps=family.default_initial_gaps,
+                        repetitions=config.repetitions,
+                        seed=config.seed,
+                        param_axes=tuple(
+                            (name, (value,)) for name, value in point
+                        ),
+                    ),
+                    interventions=interventions,
+                ),
+            )
+        )
+
+    def render_family_artifact(results) -> str:
+        pairs = [
+            (label, results[arm.name]) for label, arm in labelled_arms
+        ]
+        return _fenced(render_family_sweep(family_id, family_sweep_rows(pairs)))
+
+    return ReportArtifact(
+        f"family-{family_id}",
+        f"Scenario family sweep: {family_id} — {family.title}",
+        tuple(arm for _, arm in labelled_arms),
+        render_family_artifact,
+    )
 
 
 def generate_report(

@@ -292,3 +292,64 @@ def render_table8(
         ],
         title="Table VIII: Hazard prevention rate vs road friction",
     )
+
+
+# --------------------------------------------------------------------- #
+# Scenario-family sweeps (registry workloads beyond the paper grid)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FamilySweepRow:
+    """Aggregate of one parameter point of a scenario-family sweep."""
+
+    point: str
+    episodes: int
+    a1_pct: float
+    a2_pct: float
+    prevented_pct: float
+    aeb_trigger_pct: float
+
+
+def family_sweep_rows(
+    pairs: Sequence[Tuple[str, CampaignResult]]
+) -> List[FamilySweepRow]:
+    """Aggregate a family sweep: one row per ``(point label, campaign)``.
+
+    Row order follows the input pairs (the sweep's declared axis order),
+    not an alphabetical sort — ``mu=0.75, 0.5, 0.25`` should read in
+    sweep order.
+    """
+    rows: List[FamilySweepRow] = []
+    for point, campaign in pairs:
+        stats = aggregate(campaign.results)
+        rows.append(
+            FamilySweepRow(
+                point=point,
+                episodes=len(campaign.results),
+                a1_pct=100.0 * stats.a1_rate,
+                a2_pct=100.0 * stats.a2_rate,
+                prevented_pct=100.0 * stats.prevented_rate,
+                aeb_trigger_pct=100.0 * stats.aeb_trigger_rate,
+            )
+        )
+    return rows
+
+
+def render_family_sweep(family_id: str, rows: Sequence[FamilySweepRow]) -> str:
+    """Plain-text sweep table for one scenario family."""
+    return format_table(
+        ["Sweep point", "Episodes", "A1", "A2", "Prevented", "AEB trig"],
+        [
+            [
+                r.point,
+                r.episodes,
+                f"{r.a1_pct:.1f}%",
+                f"{r.a2_pct:.1f}%",
+                f"{r.prevented_pct:.1f}%",
+                f"{r.aeb_trigger_pct:.1f}%",
+            ]
+            for r in rows
+        ],
+        title=f"Scenario family sweep: {family_id}",
+    )

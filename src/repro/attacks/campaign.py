@@ -6,6 +6,13 @@ positions x 6 driving scenarios)."*  :func:`enumerate_campaign` produces
 exactly that grid (or the fault-free variant for Tables IV/V), with one
 deterministic seed per episode derived from the campaign seed.
 
+Scenarios are resolved through the family registry
+(:mod:`repro.sim.families`): ``scenario_ids`` may name any registered
+family, and ``param_axes`` sweeps a family's declared parameters the same
+way ``initial_gaps`` sweeps the gap — each sweep point becomes part of
+the episode identity (seed, label, digest).  The paper grid (parameter-
+free S1-S6) enumerates byte-identically to the pre-registry code.
+
 Because episode seeds are order-independent, the enumerated list can be
 cut into contiguous slices and the slices run on different machines: a
 :class:`ShardSpec` names one such slice (``repro campaign --shard 2/4``),
@@ -15,10 +22,13 @@ invariant ``repro merge`` and the sharding test suite rely on.
 
 from __future__ import annotations
 
+import itertools
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, TypeVar, Union
+from typing import List, Mapping, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.attacks.fi import FaultType
+from repro.sim.families import ParamItems, get_family, param_token
 from repro.sim.scenarios import INITIAL_GAPS, SCENARIO_IDS
 from repro.sim.weather import FrictionCondition
 from repro.utils.rng import derive_seed
@@ -96,12 +106,15 @@ class EpisodeSpec:
     """One simulation to run.
 
     Attributes:
-        scenario_id: S1-S6.
-        initial_gap: 60 or 230 m.
+        scenario_id: a registered scenario-family id (paper: S1-S6).
+        initial_gap: 60 or 230 m in the paper grid.
         fault_type: the injected fault (or ``FaultType.NONE``).
         repetition: repetition index within the grid cell.
         seed: fully-determined episode seed.
-        friction: road condition (None = dry).
+        friction: road condition (None = dry / family default).
+        params: resolved family-parameter assignment (empty for
+            parameter-free families such as the paper's S1-S6, keeping
+            their identity byte-compatible with the pre-registry code).
     """
 
     scenario_id: str
@@ -110,12 +123,14 @@ class EpisodeSpec:
     repetition: int
     seed: int
     friction: Optional[FrictionCondition] = None
+    params: ParamItems = ()
 
     def label(self) -> str:
         """Compact human-readable identifier."""
         mu = "" if self.friction is None else f"/mu={self.friction.mu}"
+        point = f"/{param_token(self.params)}" if self.params else ""
         return (
-            f"{self.scenario_id}/gap={self.initial_gap:.0f}"
+            f"{self.scenario_id}/gap={self.initial_gap:.0f}{point}"
             f"/{self.fault_type.value}/rep={self.repetition}{mu}"
         )
 
@@ -126,11 +141,19 @@ class CampaignSpec:
 
     Attributes:
         fault_types: fault types to sweep.
-        scenario_ids: scenarios to sweep (default S1-S6).
+        scenario_ids: registered scenario families to sweep (default the
+            paper's S1-S6).
         initial_gaps: initial bumper gaps to sweep (default 60, 230).
         repetitions: repetitions per grid cell (paper: 10).
         seed: campaign master seed.
-        friction: road condition applied to every episode.
+        friction: road condition applied to every episode (overrides any
+            family-default condition, e.g. the friction-sweep family's).
+        param_axes: family-parameter sweep as ``(name, values)`` pairs
+            (or a mapping); every axis must be declared by the selected
+            family, and sweeping requires exactly one ``scenario_id`` —
+            parameter schemas are per-family.  Axes are normalised to the
+            family's declaration order, so two specs meaning the same
+            sweep enumerate identically.
     """
 
     fault_types: Sequence[FaultType] = field(default_factory=lambda: ATTACK_FAULT_TYPES)
@@ -139,6 +162,7 @@ class CampaignSpec:
     repetitions: int = 10
     seed: int = 2025
     friction: Optional[FrictionCondition] = None
+    param_axes: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
@@ -166,14 +190,66 @@ class CampaignSpec:
                 f"duplicate initial_gaps {list(self.initial_gaps)}: duplicates "
                 "would run identical episodes twice and skew aggregated rates"
             )
-        for sid in self.scenario_ids:
-            if sid not in SCENARIO_IDS:
-                raise ValueError(f"unknown scenario {sid!r}")
+        families = [get_family(sid) for sid in self.scenario_ids]
         for gap in self.initial_gaps:
-            if gap <= 0.0:
+            # NaN compares False against any bound — check finiteness
+            # explicitly so it cannot reach the geometry.
+            if not math.isfinite(gap) or gap <= 0.0:
                 raise ValueError(
                     f"initial_gaps must be positive bumper gaps [m], got {gap}"
                 )
+        axes = self.param_axes
+        if isinstance(axes, Mapping):
+            axes = tuple(axes.items())
+        axes = tuple((name, tuple(values)) for name, values in axes)
+        if axes:
+            if len(families) != 1:
+                raise ValueError(
+                    "param_axes sweeps are per-family: select exactly one "
+                    f"scenario family, got {list(self.scenario_ids)}"
+                )
+            family = families[0]
+            names = [name for name, _ in axes]
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate param axes {names}")
+            validated = {}
+            for name, values in axes:
+                spec = family.param_spec(name)  # raises on undeclared axes
+                if not values:
+                    raise ValueError(f"param axis {name!r} must not be empty")
+                canonical = tuple(spec.validate(v) for v in values)
+                if len(set(canonical)) != len(canonical):
+                    raise ValueError(
+                        f"duplicate values {list(values)} on param axis "
+                        f"{name!r}: duplicates would run identical episodes "
+                        "twice and skew aggregated rates"
+                    )
+                validated[name] = canonical
+            # Canonical axis order = family declaration order, so two
+            # specs naming the same sweep enumerate (and digest) the same.
+            axes = tuple(
+                (p.name, validated[p.name]) for p in family.params if p.name in validated
+            )
+        object.__setattr__(self, "param_axes", axes)
+
+    def sweep_points(self, scenario_id: str) -> List[ParamItems]:
+        """The resolved parameter points of one scenario family's sweep.
+
+        The cartesian product of ``param_axes`` (family declaration
+        order, last axis fastest), each point completed with the
+        family's defaults.  Parameter-free families yield a single empty
+        point — preserving the pre-registry episode identity.
+        """
+        family = get_family(scenario_id)
+        if not family.params:
+            return [()]
+        if not self.param_axes:
+            return [family.resolve_params({})]
+        names = [name for name, _ in self.param_axes]
+        return [
+            family.resolve_params(dict(zip(names, combo)))
+            for combo in itertools.product(*(values for _, values in self.param_axes))
+        ]
 
 
 def as_episode_list(
@@ -196,10 +272,12 @@ def enumerate_campaign(
 ) -> List[EpisodeSpec]:
     """Expand a :class:`CampaignSpec` into its ordered episode list.
 
-    Episode seeds are derived from ``(campaign seed, scenario, gap, fault,
-    repetition)`` — independent of enumeration order and of which other
-    grid cells exist, so intervention configurations can be compared on
-    *identical* episodes.
+    Episode seeds are derived from ``(campaign seed, scenario, gap,
+    [param point,] fault, repetition)`` — independent of enumeration
+    order and of which other grid cells exist, so intervention
+    configurations can be compared on *identical* episodes.  Parameter-
+    free families (the paper's S1-S6) omit the param-point component,
+    keeping their seeds byte-identical to the pre-registry scheme.
 
     Args:
         spec: the grid to expand.
@@ -208,21 +286,32 @@ def enumerate_campaign(
             of a campaign is exactly the unsharded enumeration.
     """
     episodes: List[EpisodeSpec] = []
+    points = {sid: spec.sweep_points(sid) for sid in spec.scenario_ids}
     for fault in spec.fault_types:
         for gap in spec.initial_gaps:
             for sid in spec.scenario_ids:
-                for rep in range(spec.repetitions):
-                    seed = derive_seed(spec.seed, sid, f"{gap:.0f}", fault.value, rep)
-                    episodes.append(
-                        EpisodeSpec(
-                            scenario_id=sid,
-                            initial_gap=gap,
-                            fault_type=fault,
-                            repetition=rep,
-                            seed=seed,
-                            friction=spec.friction,
+                for point in points[sid]:
+                    for rep in range(spec.repetitions):
+                        if point:
+                            seed = derive_seed(
+                                spec.seed, sid, f"{gap:.0f}",
+                                param_token(point), fault.value, rep,
+                            )
+                        else:
+                            seed = derive_seed(
+                                spec.seed, sid, f"{gap:.0f}", fault.value, rep
+                            )
+                        episodes.append(
+                            EpisodeSpec(
+                                scenario_id=sid,
+                                initial_gap=gap,
+                                fault_type=fault,
+                                repetition=rep,
+                                seed=seed,
+                                friction=spec.friction,
+                                params=point,
+                            )
                         )
-                    )
     if shard is not None:
         return shard.slice(episodes)
     return episodes

@@ -4,6 +4,8 @@ Commands:
 
 * ``episode``   — run one episode and print its measurements.
 * ``campaign``  — run one campaign (optionally a shard) and write JSONL.
+* ``scenarios`` — inspect the scenario-family registry (``scenarios
+  list [--json]``).
 * ``merge``     — validate and concatenate shard JSONL files.
 * ``table4``    — fault-free driving-performance campaign (Tables IV + V).
 * ``table6``    — the full intervention-comparison campaign.
@@ -55,6 +57,19 @@ content digest so a repeated campaign executes zero episodes.  The grid
 commands (``table4`` .. ``table8``, ``report``, ``episode``) take
 ``--resume DIR`` instead: each constituent campaign resumes from a
 digest-named file in that directory.
+
+Scenario families
+-----------------
+
+Scenarios are resolved through the pluggable family registry
+(:mod:`repro.sim.families`): ``repro scenarios list`` shows every
+registered family and its typed parameter schema, ``repro campaign
+--scenario FAMILY`` selects families (default: the paper's S1-S6), and
+``--scenario-param name=v1,v2,...`` sweeps a family parameter axis the
+same way the grid sweeps gaps (``--scenario-param initial_gap=...``
+addresses the gap axis itself).  ``repro report --family FAMILY`` appends
+a sweep artifact for a family to the report DAG.  Unknown scenario ids
+fail with an error naming the registered families instead of a traceback.
 
 Environment variables:
 
@@ -110,6 +125,12 @@ from repro.core.cache import (
 from repro.core.experiment import merge_shards, run_campaign
 from repro.safety.aebs import AebsConfig
 from repro.safety.arbitration import InterventionConfig
+from repro.sim.families import (
+    ScenarioFamily,
+    UnknownScenarioError,
+    family_catalog,
+    get_family,
+)
 from repro.sim.weather import FRICTION_CONDITIONS
 
 
@@ -176,6 +197,68 @@ def _parse_shard(text: str) -> ShardSpec:
         raise argparse.ArgumentTypeError(str(exc))
 
 
+def _parse_param_flag(text: str) -> tuple:
+    """Split a ``--scenario-param`` value into ``(name, raw value list)``.
+
+    Typed validation happens later against the selected family's schema
+    (the flag parses before the family is known).
+    """
+    name, sep, values = text.partition("=")
+    name = name.strip()
+    if not sep or not name or not values.strip():
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=VALUE[,VALUE...], got {text!r}"
+        )
+    parts = tuple(p.strip() for p in values.split(",") if p.strip())
+    if not parts:
+        raise argparse.ArgumentTypeError(
+            f"expected at least one value in {text!r}"
+        )
+    return name, parts
+
+
+def _add_scenario_param_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario-param",
+        action="append",
+        type=_parse_param_flag,
+        default=None,
+        metavar="NAME=V1[,V2...]",
+        help="sweep a scenario-family parameter axis (repeatable; values "
+        "are validated against the family's declared schema — see "
+        "'repro scenarios list'); NAME=initial_gap addresses the "
+        "initial-gap axis",
+    )
+
+
+def _scenario_axes(
+    family: ScenarioFamily, flags
+) -> tuple:
+    """Typed ``(param_axes, initial_gaps)`` from ``--scenario-param`` flags.
+
+    Raises:
+        ValueError: an axis is undeclared or a value fails validation.
+    """
+    param_axes = {}
+    initial_gaps = None
+    for name, raw_values in flags or ():
+        if name == "initial_gap":
+            if initial_gaps is not None:
+                raise ValueError("--scenario-param initial_gap given twice")
+            try:
+                initial_gaps = tuple(float(v) for v in raw_values)
+            except ValueError:
+                raise ValueError(
+                    f"initial_gap values must be numbers, got {list(raw_values)}"
+                ) from None
+            continue
+        if name in param_axes:
+            raise ValueError(f"--scenario-param {name} given twice")
+        spec = family.param_spec(name)  # raises on undeclared axes
+        param_axes[name] = tuple(spec.parse(v) for v in raw_values)
+    return param_axes, initial_gaps
+
+
 def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
@@ -203,13 +286,31 @@ def _add_report_scale_flags(parser: argparse.ArgumentParser) -> None:
         help="comma-separated Table VII sweep points in seconds "
         "(default: 1.0,1.5,2.0,2.5,3.0,3.5)",
     )
+    parser.add_argument(
+        "--family",
+        action="append",
+        default=None,
+        metavar="FAMILY",
+        help="append a sweep artifact for this registered scenario family "
+        "(repeatable; see 'repro scenarios list')",
+    )
 
 
 def _report_config_from_args(args, log=None) -> ReportConfig:
-    """A ReportConfig from the shared report/report-status flags."""
+    """A ReportConfig from the shared report/report-status flags.
+
+    Raises:
+        UnknownScenarioError: a ``--family`` flag names no registered
+            scenario family.
+    """
     kwargs = {}
     if args.reaction_times is not None:
         kwargs["reaction_times"] = args.reaction_times
+    # Deduplicate while preserving order: a repeated --family would emit
+    # the same artifact (and manifest id) twice.
+    families = tuple(dict.fromkeys(args.family or ()))
+    for family_id in families:
+        get_family(family_id)  # fail before any campaign executes
     return ReportConfig(
         repetitions=args.reps,
         seed=args.seed,
@@ -217,6 +318,7 @@ def _report_config_from_args(args, log=None) -> ReportConfig:
         jobs=getattr(args, "jobs", None),
         cache_dir=getattr(args, "cache_dir", None),
         resume_dir=getattr(args, "resume", None),
+        extra_families=families,
         log=log,
         **kwargs,
     )
@@ -295,8 +397,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     ep = sub.add_parser("episode", help="run one episode")
-    ep.add_argument("--scenario", default="S1", help="S1..S6")
+    ep.add_argument(
+        "--scenario",
+        default="S1",
+        help="a registered scenario family (see 'repro scenarios list')",
+    )
     ep.add_argument("--gap", type=float, default=60.0, help="initial gap [m]")
+    _add_scenario_param_flag(ep)
     ep.add_argument(
         "--fault",
         choices=[f.value for f in FaultType],
@@ -306,10 +413,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_intervention_flags(ep)
     _add_grid_persistence_flags(ep)
 
+    sc = sub.add_parser(
+        "scenarios", help="inspect the scenario-family registry"
+    )
+    sc.add_argument("action", choices=["list"], help="what to do")
+    sc.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
     camp = sub.add_parser(
         "campaign",
         help="run one campaign (optionally a shard of it) and write JSONL",
     )
+    camp.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="FAMILY",
+        help="scenario family to sweep (repeatable; default: the paper's "
+        "S1-S6 — see 'repro scenarios list')",
+    )
+    _add_scenario_param_flag(camp)
     camp.add_argument(
         "--fault",
         action="append",
@@ -432,13 +556,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     if args.command == "episode":
-        spec = EpisodeSpec(
-            scenario_id=args.scenario,
-            initial_gap=args.gap,
-            fault_type=FaultType(args.fault),
-            repetition=0,
-            seed=args.seed,
-        )
+        try:
+            family = get_family(args.scenario)
+            overrides = {}
+            for name, values in args.scenario_param or ():
+                if len(values) != 1:
+                    raise ValueError(
+                        f"episode takes a single value per parameter, got "
+                        f"{name}={','.join(values)} (sweeps are for "
+                        "'repro campaign')"
+                    )
+                if name == "initial_gap":
+                    raise ValueError(
+                        "use --gap to set the episode's initial gap"
+                    )
+                overrides[name] = family.param_spec(name).parse(values[0])
+            spec = EpisodeSpec(
+                scenario_id=args.scenario,
+                initial_gap=args.gap,
+                fault_type=FaultType(args.fault),
+                repetition=0,
+                seed=args.seed,
+                params=family.resolve_params(overrides),
+            )
+        except ValueError as exc:  # includes UnknownScenarioError
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
         # Route the single episode through the campaign engine so --jobs,
         # --resume and --cache-dir are honoured uniformly (with one episode
         # execution degenerates to serial).
@@ -454,13 +597,83 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"prevented:  {result.prevented}")
         return 0
 
+    if args.command == "scenarios":
+        # args.action is constrained to "list" by argparse.
+        catalog = family_catalog()
+        if args.json:
+            print(json.dumps({"format": 1, "families": catalog}, indent=2))
+            return 0
+        for entry in catalog:
+            gaps = ", ".join(f"{g:g}" for g in entry["default_initial_gaps"])
+            print(f"{entry['id']}")
+            print(f"    {entry['title']}")
+            print(f"    default initial gaps [m]: {gaps}")
+            if not entry["params"]:
+                print("    parameters: (none)")
+            for param in entry["params"]:
+                bounds = ""
+                if "choices" in param:
+                    bounds = " one of " + "/".join(str(c) for c in param["choices"])
+                elif "minimum" in param or "maximum" in param:
+                    bounds = (
+                        f" in [{param.get('minimum', '-inf')}"
+                        f"..{param.get('maximum', 'inf')}]"
+                    )
+                line = (
+                    f"    --scenario-param {param['name']}=... "
+                    f"({param['kind']}, default {param['default']}{bounds})"
+                )
+                if param.get("help"):
+                    line += f" — {param['help']}"
+                print(line)
+        return 0
+
     if args.command == "campaign":
         fault_values = args.fault or [f.value for f in ATTACK_FAULT_TYPES]
-        spec = CampaignSpec(
-            fault_types=[FaultType(v) for v in fault_values],
-            repetitions=args.reps,
-            seed=args.seed,
-        )
+        try:
+            scenario_ids = tuple(args.scenario) if args.scenario else None
+            param_axes = {}
+            initial_gaps = None
+            if args.scenario_param:
+                if scenario_ids is None or len(scenario_ids) != 1:
+                    raise ValueError(
+                        "--scenario-param sweeps are per-family: select "
+                        "exactly one family with --scenario"
+                    )
+                family = get_family(scenario_ids[0])
+                param_axes, initial_gaps = _scenario_axes(
+                    family, args.scenario_param
+                )
+            elif scenario_ids is not None:
+                for sid in scenario_ids:
+                    get_family(sid)  # fail with the named-family error
+            if (
+                initial_gaps is None
+                and scenario_ids is not None
+                and len(scenario_ids) == 1
+            ):
+                # A single selected family supplies its own gap axis — one
+                # of the inputs the report's family-sweep arms are keyed
+                # on (matching their digests additionally requires the
+                # arm's fault type and intervention flags; see the README's
+                # family workflow).  The paper default (60, 230) still
+                # applies to multi-family and default-grid campaigns.
+                initial_gaps = get_family(scenario_ids[0]).default_initial_gaps
+            spec_kwargs = {}
+            if scenario_ids is not None:
+                spec_kwargs["scenario_ids"] = scenario_ids
+            if initial_gaps is not None:
+                spec_kwargs["initial_gaps"] = initial_gaps
+            spec = CampaignSpec(
+                fault_types=[FaultType(v) for v in fault_values],
+                repetitions=args.reps,
+                seed=args.seed,
+                param_axes=tuple(param_axes.items()),
+                **spec_kwargs,
+            )
+        except ValueError as exc:  # includes UnknownScenarioError
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
         episodes = enumerate_campaign(spec, shard=args.shard)
         cfg = _interventions_from_args(args)
         output = args.output
@@ -606,7 +819,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "report":
-        config = _report_config_from_args(args, log=print)
+        try:
+            config = _report_config_from_args(args, log=print)
+        except UnknownScenarioError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
         manifest = manifest_path_for(args.output)
         # Fail on an unwritable destination *before* potentially hours of
         # campaign execution, not at the final write.
@@ -639,7 +856,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "report-status":
-        config = _report_config_from_args(args)
+        try:
+            config = _report_config_from_args(args)
+        except UnknownScenarioError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
         manifest = manifest_path_for(args.output)
         try:
             engine = IncrementalReportEngine(config, manifest_path=manifest)

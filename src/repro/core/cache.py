@@ -46,8 +46,13 @@ def canonical_episode(spec: EpisodeSpec) -> Dict[str, object]:
 
     Enums flatten to their string values and friction to ``(name, mu)`` so
     the form only contains primitives ``json.dumps`` orders stably.
+
+    Scenario-family parameters join the form only when present: episodes
+    of parameter-free families (the paper's S1-S6 grid) canonicalise
+    exactly as they did before the family registry existed, so historical
+    cache entries stay valid (the golden-digest test pins this).
     """
-    return {
+    form: Dict[str, object] = {
         "scenario_id": spec.scenario_id,
         "initial_gap": spec.initial_gap,
         "fault_type": spec.fault_type.value,
@@ -57,6 +62,9 @@ def canonical_episode(spec: EpisodeSpec) -> Dict[str, object]:
         if spec.friction is None
         else {"name": spec.friction.name, "mu": spec.friction.mu},
     }
+    if spec.params:
+        form["params"] = dict(spec.params)
+    return form
 
 
 def canonical_interventions(config: InterventionConfig) -> Dict[str, object]:

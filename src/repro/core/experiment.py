@@ -232,11 +232,16 @@ def run_campaign(
             episodes skipped; only the remainder executes, with completed
             episodes streamed to the file batch by batch so an interrupted
             run leaves a resumable prefix behind.  A ``.digest`` sidecar
-            records the campaign's content digest, so a file written under
-            different inputs (platform overrides, interventions, grid) is
-            refused instead of silently absorbed; files without a sidecar
-            fall back to per-record identity validation.  Missing files
-            simply mean a fresh run whose results land at this path.
+            records the campaign's content digest — which carries the full
+            scenario-family identity (family id plus resolved sweep
+            parameters, see :func:`repro.core.cache.canonical_episode`) —
+            so a file written under different inputs (platform overrides,
+            interventions, grid, or another sweep point) is refused instead
+            of silently absorbed; files without a sidecar fall back to
+            per-record identity validation (episode seeds encode the sweep
+            point, so mismatched families/points are still caught).
+            Missing files simply mean a fresh run whose results land at
+            this path.
         cache: a :class:`~repro.core.cache.CampaignCache` to consult/populate,
             ``None``/``True`` to use the ``REPRO_CACHE_DIR`` environment
             default, or ``False`` to disable caching outright.  A cache hit

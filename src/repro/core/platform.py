@@ -119,12 +119,16 @@ class SimulationPlatform:
         self.trace_every = max(1, trace_every)
 
         self.streams = RngStreams(spec.seed)
+        # Episode setup goes through the scenario-family registry: the
+        # ScenarioConfig resolves/validates the family parameters and
+        # build_scenario dispatches to the registered family's builder.
         self.world = build_scenario(
             ScenarioConfig(
                 scenario_id=spec.scenario_id,
                 initial_gap=spec.initial_gap,
                 seed=spec.seed,
                 friction=spec.friction,
+                params=spec.params,
             )
         )
         self.sensor = GroundTruthSensor(self.world)

@@ -16,8 +16,12 @@ A 2-D highway world stepped at 100 Hz:
   lane-departure detection.
 * :mod:`repro.sim.sensors` — ground-truth measurements (radar-like lead
   range, camera-like lane-line distances).
+* :mod:`repro.sim.families` — the pluggable scenario-family registry
+  (typed parameter schemas, canonical identities, world constructors).
 * :mod:`repro.sim.scenarios` — the paper's S1-S6 NHTSA pre-collision
-  scenarios with 60 m / 230 m initial gaps.
+  scenarios with 60 m / 230 m initial gaps, registered as families.
+* :mod:`repro.sim.workloads` — extra registered families: friction
+  sweep, curved road, dense traffic.
 * :mod:`repro.sim.weather` — road-friction conditions for Table VIII.
 """
 
@@ -26,12 +30,23 @@ from repro.sim.track import build_highway_map, build_straight_map
 from repro.sim.vehicle import EgoVehicle, KinematicActor, VehicleParams
 from repro.sim.world import World
 from repro.sim.weather import FrictionCondition, FRICTION_CONDITIONS
+from repro.sim.families import (
+    ParamSpec,
+    ScenarioFamily,
+    UnknownScenarioError,
+    family_catalog,
+    get_family,
+    lead_start_s,
+    register_family,
+    registered_families,
+)
 from repro.sim.scenarios import (
     SCENARIO_IDS,
     ScenarioConfig,
     build_scenario,
     scenario_catalog,
 )
+from repro.sim import workloads as _workloads  # noqa: F401  (registers the extra families)
 
 __all__ = [
     "Road",
@@ -48,4 +63,12 @@ __all__ = [
     "ScenarioConfig",
     "build_scenario",
     "scenario_catalog",
+    "ParamSpec",
+    "ScenarioFamily",
+    "UnknownScenarioError",
+    "family_catalog",
+    "get_family",
+    "lead_start_s",
+    "register_family",
+    "registered_families",
 ]

@@ -1,0 +1,483 @@
+"""Pluggable scenario-family registry.
+
+A :class:`ScenarioFamily` is one *kind* of episode: it declares a typed
+parameter schema (axes with defaults and validation), contributes a
+canonical identity to campaign digests, and knows how to build the
+:class:`~repro.sim.world.World` for one fully-specified episode.  The
+registry decouples every layer above the simulator — campaign
+enumeration, content digests, the result cache, the report DAG — from the
+hardcoded paper grid: adding a workload is registering a family, not
+editing the enumeration code.
+
+Identity rules (what keeps existing caches valid):
+
+* a family's id doubles as the episode ``scenario_id``, so the paper's
+  S1-S6 keep their exact historical identity;
+* families **without** parameters canonicalise exactly as before the
+  registry existed — episode seeds, labels and campaign digests for the
+  paper grid are byte-identical (pinned by the golden-digest test);
+* families **with** parameters carry the resolved ``(name, value)``
+  pairs in :attr:`~repro.attacks.campaign.EpisodeSpec.params`; the pairs
+  join the canonical-JSON digest payload and the episode seed path, so
+  two sweep points can never share a cache entry.
+
+The paper families register themselves when :mod:`repro.sim.scenarios`
+imports; the extra workloads (friction sweep, curved road, dense
+traffic) when :mod:`repro.sim.workloads` does.  Both happen eagerly from
+``repro.sim.__init__``, and :func:`get_family` lazily imports them as a
+fallback, so lookups never depend on import order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.sim.track import build_highway_map
+from repro.sim.road import Road
+from repro.sim.vehicle import EgoVehicle
+from repro.sim.weather import FrictionCondition
+from repro.sim.world import World
+from repro.utils.rng import RngStreams
+from repro.utils.units import mph_to_ms
+
+#: Ego cruise set-speed: 50 mph (the paper's common setup, shared by every
+#: family unless it overrides the base construction).
+EGO_SPEED = mph_to_ms(50.0)
+
+#: Arc length where the ego vehicle starts.
+EGO_START_S = 30.0
+
+#: The parameter value types a schema may declare.
+PARAM_KINDS = ("float", "int", "str")
+
+#: Resolved parameter assignments in family declaration order — the form
+#: stored on episode specs and fed into digests and seed derivation.
+ParamItems = Tuple[Tuple[str, object], ...]
+
+
+class UnknownScenarioError(ValueError):
+    """A scenario id that no registered family claims.
+
+    The message names every registered family so CLI users see what *is*
+    available instead of a bare traceback.
+    """
+
+    def __init__(self, family_id: object, registered: Sequence[str]) -> None:
+        self.family_id = family_id
+        self.registered = tuple(registered)
+        names = ", ".join(self.registered) if self.registered else "(none)"
+        super().__init__(
+            f"unknown scenario {family_id!r}; registered scenario families: "
+            f"{names} (see 'repro scenarios list')"
+        )
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One typed parameter axis of a scenario family.
+
+    Attributes:
+        name: axis name (``mu``, ``curve_radius``, ...); must be a valid
+            identifier so CLI ``--scenario-param name=value`` parses.
+        kind: value type, one of :data:`PARAM_KINDS`.
+        default: value used when a campaign does not sweep the axis.
+        minimum / maximum: inclusive numeric bounds (numeric kinds only).
+        choices: closed set of admissible values (overrides bounds).
+        help: one-line description for ``repro scenarios list``.
+    """
+
+    name: str
+    kind: str = "float"
+    default: object = None
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    choices: Optional[Tuple[object, ...]] = None
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ValueError(f"parameter name must be an identifier, got {self.name!r}")
+        if self.kind not in PARAM_KINDS:
+            raise ValueError(
+                f"parameter kind must be one of {PARAM_KINDS}, got {self.kind!r}"
+            )
+        if self.choices is not None and not self.choices:
+            raise ValueError(f"parameter {self.name!r}: empty choices")
+        # The default must satisfy the spec's own constraints.
+        object.__setattr__(self, "default", self.validate(self.default))
+
+    def validate(self, value: object) -> object:
+        """Coerce ``value`` to the declared kind and check its invariants.
+
+        Returns the canonical value (e.g. ``int`` widened to ``float`` for
+        a float axis) — the form stored in episode identities.
+
+        Raises:
+            ValueError: wrong type, out of bounds, or not in ``choices``.
+        """
+        if self.kind == "float":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"parameter {self.name!r} expects a number, got {value!r}"
+                )
+            canonical: object = float(value)
+            # NaN slips through bound comparisons (both are False) and
+            # would poison every downstream geometry/metric computation.
+            if not math.isfinite(canonical):
+                raise ValueError(
+                    f"parameter {self.name!r} expects a finite number, "
+                    f"got {canonical!r}"
+                )
+        elif self.kind == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(
+                    f"parameter {self.name!r} expects an integer, got {value!r}"
+                )
+            canonical = int(value)
+        else:  # str
+            if not isinstance(value, str):
+                raise ValueError(
+                    f"parameter {self.name!r} expects a string, got {value!r}"
+                )
+            canonical = value
+        if self.choices is not None:
+            if canonical not in self.choices:
+                raise ValueError(
+                    f"parameter {self.name!r} must be one of {list(self.choices)}, "
+                    f"got {canonical!r}"
+                )
+            return canonical
+        if self.kind in ("float", "int"):
+            if self.minimum is not None and canonical < self.minimum:
+                raise ValueError(
+                    f"parameter {self.name!r} must be >= {self.minimum}, "
+                    f"got {canonical!r}"
+                )
+            if self.maximum is not None and canonical > self.maximum:
+                raise ValueError(
+                    f"parameter {self.name!r} must be <= {self.maximum}, "
+                    f"got {canonical!r}"
+                )
+        return canonical
+
+    def parse(self, text: str) -> object:
+        """Parse a CLI string into a validated canonical value."""
+        if self.kind == "float":
+            try:
+                value: object = float(text)
+            except ValueError:
+                raise ValueError(
+                    f"parameter {self.name!r} expects a number, got {text!r}"
+                ) from None
+        elif self.kind == "int":
+            try:
+                value = int(text)
+            except ValueError:
+                raise ValueError(
+                    f"parameter {self.name!r} expects an integer, got {text!r}"
+                ) from None
+        else:
+            value = text
+        return self.validate(value)
+
+    def schema(self) -> Dict[str, object]:
+        """JSON-safe form for ``repro scenarios list --json``."""
+        doc: Dict[str, object] = {
+            "name": self.name,
+            "kind": self.kind,
+            "default": self.default,
+        }
+        if self.minimum is not None:
+            doc["minimum"] = self.minimum
+        if self.maximum is not None:
+            doc["maximum"] = self.maximum
+        if self.choices is not None:
+            doc["choices"] = list(self.choices)
+        if self.help:
+            doc["help"] = self.help
+        return doc
+
+
+class ScenarioFamily:
+    """Base class for registered scenario families.
+
+    Subclasses (or instances configured via the constructor arguments)
+    provide:
+
+    * :attr:`family_id` — unique id; doubles as the episode
+      ``scenario_id`` and the campaign/CLI name;
+    * :attr:`params` — the typed parameter schema (may be empty);
+    * :meth:`build` — construct the :class:`World` for one episode.
+
+    Attributes:
+        family_id: registry key; no ``/`` (the episode-label separator).
+        title: one-line description for catalogs and reports.
+        params: declared parameter axes, in declaration order.
+        default_initial_gaps: initial-gap axis a sweep uses when the
+            campaign does not override it (paper families: 60 m / 230 m).
+        report_axes: the default parameter sweep ``repro report
+            --family`` runs, as ``(name, values)`` pairs; empty means a
+            single default-parameter arm.
+    """
+
+    family_id: str = ""
+    title: str = ""
+    params: Tuple[ParamSpec, ...] = ()
+    default_initial_gaps: Tuple[float, ...] = (60.0, 230.0)
+    report_axes: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+
+    def __init__(
+        self,
+        family_id: Optional[str] = None,
+        title: Optional[str] = None,
+        params: Optional[Sequence[ParamSpec]] = None,
+        default_initial_gaps: Optional[Sequence[float]] = None,
+        report_axes: Optional[Sequence[Tuple[str, Sequence[object]]]] = None,
+    ) -> None:
+        if family_id is not None:
+            self.family_id = family_id
+        if title is not None:
+            self.title = title
+        if params is not None:
+            self.params = tuple(params)
+        if default_initial_gaps is not None:
+            self.default_initial_gaps = tuple(default_initial_gaps)
+        if report_axes is not None:
+            self.report_axes = tuple((n, tuple(v)) for n, v in report_axes)
+        if not self.family_id or "/" in self.family_id or self.family_id.strip() != self.family_id:
+            raise ValueError(
+                f"family_id must be a non-empty token without '/', got "
+                f"{self.family_id!r}"
+            )
+        names = [p.name for p in self.params]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"family {self.family_id!r} declares duplicate parameters {names}"
+            )
+        if not self.default_initial_gaps or any(
+            g <= 0.0 for g in self.default_initial_gaps
+        ):
+            raise ValueError(
+                f"family {self.family_id!r}: default_initial_gaps must be "
+                f"positive, got {self.default_initial_gaps}"
+            )
+
+    # ---- parameter handling ---------------------------------------------
+
+    def param_spec(self, name: str) -> ParamSpec:
+        """The declared spec for axis ``name``.
+
+        Raises:
+            ValueError: the family does not declare the axis.
+        """
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        declared = [p.name for p in self.params] or "(none)"
+        raise ValueError(
+            f"scenario family {self.family_id!r} declares no parameter "
+            f"{name!r}; declared parameters: {declared}"
+        )
+
+    def resolve_params(
+        self, overrides: Union[Mapping[str, object], ParamItems, None] = None
+    ) -> ParamItems:
+        """Full validated parameter assignment in declaration order.
+
+        Args:
+            overrides: values for a subset of the declared axes (mapping
+                or ``(name, value)`` pairs); unset axes take defaults.
+
+        Returns:
+            ``((name, canonical value), ...)`` over *every* declared axis
+            — the identity stored on episode specs.  Empty for families
+            without parameters (preserving pre-registry identities).
+
+        Raises:
+            ValueError: an override names an undeclared axis or fails
+                validation.
+        """
+        items = dict(overrides or ())
+        resolved = []
+        for spec in self.params:
+            if spec.name in items:
+                resolved.append((spec.name, spec.validate(items.pop(spec.name))))
+            else:
+                resolved.append((spec.name, spec.default))
+        if items:
+            declared = [p.name for p in self.params] or "(none)"
+            raise ValueError(
+                f"scenario family {self.family_id!r} declares no parameter(s) "
+                f"{sorted(items)}; declared parameters: {declared}"
+            )
+        return tuple(resolved)
+
+    # ---- identity --------------------------------------------------------
+
+    def schema(self) -> Dict[str, object]:
+        """JSON-safe catalog entry (``repro scenarios list --json``)."""
+        return {
+            "id": self.family_id,
+            "title": self.title,
+            "params": [p.schema() for p in self.params],
+            "default_initial_gaps": list(self.default_initial_gaps),
+            "report_axes": [
+                {"name": name, "values": list(values)}
+                for name, values in self.report_axes
+            ],
+        }
+
+    # ---- construction ----------------------------------------------------
+
+    def build(self, config) -> World:
+        """Build the world for one fully-specified episode.
+
+        ``config`` is a :class:`~repro.sim.scenarios.ScenarioConfig`
+        whose ``scenario_id`` names this family and whose ``params`` are
+        already resolved/validated.  Must be deterministic in
+        ``(config.params, config.seed)``.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        axes = ", ".join(p.name for p in self.params)
+        return f"ScenarioFamily({self.family_id!r}, params=[{axes}])"
+
+
+# --------------------------------------------------------------------- #
+# Shared episode setup
+# --------------------------------------------------------------------- #
+
+
+def scenario_base(
+    config,
+    road: Optional[Road] = None,
+    friction: Optional[FrictionCondition] = None,
+):
+    """Common episode setup shared by every family's :meth:`build`.
+
+    Creates the seeded per-scenario RNG (stream path
+    ``("scenario", scenario_id)`` — unchanged from the pre-registry code,
+    so paper episodes draw identical jitter), the road (the paper's
+    highway map unless the family supplies one), the cruising ego and the
+    world.
+
+    Args:
+        config: the episode's ScenarioConfig.
+        road: family-specific road geometry (default: the highway map).
+        friction: family-default road condition, used only when the
+            config itself does not carry one (an explicit campaign-level
+            ``friction`` always wins).
+
+    Returns:
+        ``(world, rng, jit)`` — the world, the setup RNG stream, and a
+        ``jit(scale)`` helper returning 0 when jitter is disabled.
+    """
+    streams = RngStreams(config.seed).child("scenario", config.scenario_id)
+    rng = streams.get("setup")
+
+    def jit(scale: float) -> float:
+        if not config.jitter:
+            return 0.0
+        return float(rng.uniform(-scale, scale))
+
+    if road is None:
+        road = build_highway_map()
+    ego = EgoVehicle(road, s=EGO_START_S, d=0.0, speed=EGO_SPEED)
+    effective = config.friction if config.friction is not None else friction
+    world = World(road, ego, friction=effective)
+    return world, rng, jit
+
+
+def lead_start_s(ego: EgoVehicle, gap: float) -> float:
+    """Arc length placing a lead's *rear bumper* ``gap`` metres ahead.
+
+    ``initial_gap`` is a bumper-to-bumper distance everywhere in the
+    toolkit; a family that placed the lead's *centre* at the gap would
+    silently run ~half a car length tighter than every other family at
+    the same gap value.  Use this helper in every ``build``.
+    """
+    return ego.front_s + gap + 0.5 * ego.params.length
+
+
+# --------------------------------------------------------------------- #
+# The registry
+# --------------------------------------------------------------------- #
+
+_REGISTRY: Dict[str, ScenarioFamily] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Import the modules that register the built-in families.
+
+    Normally a no-op: ``repro.sim.__init__`` imports both eagerly.  The
+    lazy fallback keeps direct ``families`` users (and exotic import
+    orders) working.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.sim.scenarios  # noqa: F401  (registers S1-S6)
+    import repro.sim.workloads  # noqa: F401  (registers the extra workloads)
+
+
+def register_family(family: ScenarioFamily, replace: bool = False) -> ScenarioFamily:
+    """Register ``family`` under its id; returns it (decorator-friendly).
+
+    Raises:
+        ValueError: the id is already registered (unless ``replace``).
+    """
+    fid = family.family_id
+    if not replace and fid in _REGISTRY:
+        raise ValueError(
+            f"scenario family {fid!r} is already registered; pass "
+            "replace=True to override it"
+        )
+    _REGISTRY[fid] = family
+    return family
+
+
+def unregister_family(family_id: str) -> None:
+    """Remove a family from the registry (test harness use)."""
+    _REGISTRY.pop(family_id, None)
+
+
+def get_family(family_id: str) -> ScenarioFamily:
+    """The registered family for ``family_id``.
+
+    Raises:
+        UnknownScenarioError: no registered family claims the id; the
+            message lists every registered family.
+    """
+    family = _REGISTRY.get(family_id)
+    if family is None:
+        _ensure_builtins()
+        family = _REGISTRY.get(family_id)
+    if family is None:
+        raise UnknownScenarioError(family_id, registered_families())
+    return family
+
+
+def registered_families() -> Tuple[str, ...]:
+    """Every registered family id, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def family_catalog() -> List[Dict[str, object]]:
+    """JSON-safe schema list of every registered family."""
+    return [_REGISTRY[fid].schema() for fid in registered_families()]
+
+
+def param_token(params: ParamItems) -> str:
+    """Canonical text form of resolved parameters: ``"k=v,k=v"``.
+
+    Used in episode seed derivation and human-readable labels.  Floats
+    print via ``str`` (full precision — two distinct sweep values must
+    never collapse to one token).
+    """
+    return ",".join(f"{name}={value}" for name, value in params)

@@ -14,12 +14,21 @@ are exactly reproducible.
   neighbouring lane.
 * **S6** two leads cruise at 30 mph in-lane; the nearer one changes into
   the adjacent lane.
+
+Each scenario is a registered :class:`~repro.sim.families.ScenarioFamily`
+(see :mod:`repro.sim.families`): :func:`build_scenario` dispatches through
+the registry, so new workloads (e.g. :mod:`repro.sim.workloads`) plug into
+campaigns, digests and reports without touching this module.  The paper
+families declare no parameters, keeping their episode identity — seeds,
+labels, campaign digests — byte-identical to the pre-registry code (the
+golden-digest regression test pins this).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.sim.agents import (
     AgentBinding,
@@ -29,11 +38,19 @@ from repro.sim.agents import (
     SpeedChangeBehavior,
     SuddenStopBehavior,
 )
-from repro.sim.track import build_highway_map
-from repro.sim.vehicle import EgoVehicle, KinematicActor
-from repro.sim.weather import FrictionCondition
+from repro.sim.families import (
+    EGO_SPEED,
+    EGO_START_S,
+    ParamItems,
+    ScenarioFamily,
+    get_family,
+    lead_start_s,
+    register_family,
+    scenario_base,
+)
+from repro.sim.vehicle import KinematicActor
+from repro.sim.weather import FRICTION_CONDITIONS, FrictionCondition
 from repro.sim.world import World
-from repro.utils.rng import RngStreams
 from repro.utils.units import mph_to_ms
 
 #: Scenario identifiers in paper order.
@@ -42,11 +59,17 @@ SCENARIO_IDS = ("S1", "S2", "S3", "S4", "S5", "S6")
 #: The two initial bumper gaps evaluated in the paper [m].
 INITIAL_GAPS = (60.0, 230.0)
 
-#: Ego cruise set-speed: 50 mph.
-EGO_SPEED = mph_to_ms(50.0)
-
-#: Arc length where the ego vehicle starts.
-EGO_START_S = 30.0
+__all__ = [
+    "SCENARIO_IDS",
+    "INITIAL_GAPS",
+    "EGO_SPEED",
+    "EGO_START_S",
+    "ScenarioConfig",
+    "ScenarioInfo",
+    "scenario_catalog",
+    "build_scenario",
+    "PaperScenarioFamily",
+]
 
 
 @dataclass(frozen=True)
@@ -54,12 +77,16 @@ class ScenarioConfig:
     """A fully-specified episode setup.
 
     Attributes:
-        scenario_id: one of :data:`SCENARIO_IDS`.
+        scenario_id: a registered scenario-family id (paper: S1-S6).
         initial_gap: bumper gap to the (nearest) lead at t=0 [m].
         seed: episode seed; drives all per-repetition jitter.
-        friction: road condition (defaults to dry).
+        friction: road condition (defaults to dry, or to the family's own
+            default condition — e.g. the friction-sweep family).
         jitter: enable per-repetition randomisation (disable for
             deterministic unit tests).
+        params: family-parameter assignment (mapping or ``(name, value)``
+            pairs); normalised to the family's full resolved tuple, so two
+            configs meaning the same episode always compare equal.
     """
 
     scenario_id: str = "S1"
@@ -67,12 +94,31 @@ class ScenarioConfig:
     seed: int = 0
     friction: Optional[FrictionCondition] = None
     jitter: bool = True
+    params: ParamItems = ()
 
     def __post_init__(self) -> None:
-        if self.scenario_id not in SCENARIO_IDS:
-            raise ValueError(f"unknown scenario {self.scenario_id!r}")
-        if self.initial_gap <= 0.0:
+        family = get_family(self.scenario_id)  # raises UnknownScenarioError
+        # Explicit finiteness check: NaN compares False against any bound
+        # and would otherwise sail into the geometry.
+        if not math.isfinite(self.initial_gap) or self.initial_gap <= 0.0:
             raise ValueError(f"initial_gap must be positive, got {self.initial_gap}")
+        if self.friction is not None:
+            if not isinstance(self.friction, FrictionCondition):
+                presets = ", ".join(sorted(FRICTION_CONDITIONS))
+                raise ValueError(
+                    f"friction must be a FrictionCondition (e.g. one of the "
+                    f"presets {presets}) or None, got {self.friction!r}"
+                )
+            # FrictionCondition.__post_init__ enforces this, but a crafted
+            # or stale object (dataclasses.replace on a subclass, pickles
+            # from an older scheme) could carry an out-of-range mu into
+            # every braking computation of the episode — re-check here,
+            # where the episode identity is fixed.
+            if not 0.0 < self.friction.mu <= 1.2:
+                raise ValueError(
+                    f"friction.mu must be in (0, 1.2], got {self.friction.mu}"
+                )
+        object.__setattr__(self, "params", family.resolve_params(self.params))
 
 
 @dataclass(frozen=True)
@@ -87,94 +133,144 @@ class ScenarioInfo:
 def scenario_catalog() -> List[ScenarioInfo]:
     """Human-readable catalogue of S1-S6 (mirrors the paper's Fig. 4)."""
     return [
-        ScenarioInfo("S1", "Lead vehicle cruises at a constant 30 mph.", [30.0]),
-        ScenarioInfo("S2", "Lead cruises at 30 mph, then accelerates to 40 mph.", [30.0, 40.0]),
-        ScenarioInfo("S3", "Lead cruises at 40 mph, then decelerates to 30 mph.", [40.0, 30.0]),
-        ScenarioInfo("S4", "Lead cruises at 30 mph, then suddenly brakes to a stop.", [30.0]),
-        ScenarioInfo("S5", "Lead cruises at 30 mph; adjacent-lane vehicle cuts in.", [30.0]),
-        ScenarioInfo("S6", "Two leads at 30 mph; the nearer changes lane away.", [30.0]),
+        ScenarioInfo(family.family_id, family.title, list(family.lead_speeds_mph))
+        for family in PAPER_FAMILIES
     ]
 
 
 def build_scenario(config: ScenarioConfig) -> World:
-    """Instantiate the world for ``config``.
+    """Instantiate the world for ``config`` via the family registry.
 
     The ego starts at ``EGO_START_S`` already cruising at 50 mph; leads are
     placed ``initial_gap`` metres ahead (bumper to bumper).
+
+    Raises:
+        UnknownScenarioError: ``config.scenario_id`` names no registered
+            family (already rejected by :class:`ScenarioConfig` itself for
+            configs built through the dataclass).
     """
-    streams = RngStreams(config.seed).child("scenario", config.scenario_id)
-    rng = streams.get("setup")
+    return get_family(config.scenario_id).build(config)
 
-    def jit(scale: float) -> float:
-        if not config.jitter:
-            return 0.0
-        return float(rng.uniform(-scale, scale))
 
-    road = build_highway_map()
-    ego = EgoVehicle(road, s=EGO_START_S, d=0.0, speed=EGO_SPEED)
-    world = World(road, ego, friction=config.friction)
+# --------------------------------------------------------------------- #
+# The paper families
+# --------------------------------------------------------------------- #
 
-    gap = config.initial_gap + jit(4.0)
-    lead_s = ego.front_s + gap + 0.5 * ego.params.length  # rear bumper at gap
-    v30 = mph_to_ms(30.0) + jit(0.45)
-    v40 = mph_to_ms(40.0) + jit(0.45)
-    sid = config.scenario_id
 
-    if sid == "S1":
-        lv = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV")
-        world.add_agent(AgentBinding(lv, CruiseBehavior(v30)))
-    elif sid == "S2":
-        lv = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV")
-        behavior = SpeedChangeBehavior(
-            initial_speed=v30,
-            final_speed=v40,
-            trigger_gap=45.0 + jit(4.0),
-            rate=1.0,
-        )
-        world.add_agent(AgentBinding(lv, behavior))
-    elif sid == "S3":
-        lv = KinematicActor(road, s=lead_s, d=0.0, speed=v40, name="LV")
-        behavior = SpeedChangeBehavior(
-            initial_speed=v40,
-            final_speed=v30,
-            trigger_gap=35.0 + jit(4.0),
-            rate=2.0,
-        )
-        world.add_agent(AgentBinding(lv, behavior))
-    elif sid == "S4":
-        lv = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV")
-        behavior = SuddenStopBehavior(
-            speed=v30,
-            trigger_gap=72.0 + jit(8.0),
-            decel=6.5,
-        )
-        world.add_agent(AgentBinding(lv, behavior))
-    elif sid == "S5":
-        lv = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV")
-        world.add_agent(AgentBinding(lv, CruiseBehavior(v30)))
-        # The cut-in car starts in the adjacent (left) lane, slightly
-        # behind the lead, and merges when the ego closes in fast.
-        cut_s = lead_s - 20.0 + jit(3.0)
-        cut = KinematicActor(
-            road, s=cut_s, d=road.lane_center(1), speed=v30, name="CutIn"
-        )
-        # A leisurely merge: at speed the ego reaches the merging car while
-        # it is still between lanes, so un-braked impacts are side impacts.
-        cut.lane_change_rate = 0.8
-        world.add_agent(
-            AgentBinding(cut, CutInBehavior(speed=v30, trigger_gap=26.0 + jit(3.0)))
-        )
-    elif sid == "S6":
-        far = KinematicActor(road, s=lead_s + 28.0, d=0.0, speed=v30, name="LV-far")
-        world.add_agent(AgentBinding(far, CruiseBehavior(v30)))
-        near = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV-near")
-        behavior = LaneChangeAwayBehavior(
-            speed=v30,
-            trigger_gap=40.0 + jit(4.0),
-            target_d=road.lane_center(1),
-        )
-        world.add_agent(AgentBinding(near, behavior))
-    else:  # pragma: no cover - guarded by ScenarioConfig validation
-        raise ValueError(f"unknown scenario {sid!r}")
+class PaperScenarioFamily(ScenarioFamily):
+    """One of the paper's S1-S6 NHTSA pre-collision scenarios.
 
-    return world
+    Declares no parameters, so its episode identity (seed path, labels,
+    campaign digests) is byte-identical to the pre-registry hardcoded
+    grid.  Construction order of the RNG draws is part of that contract:
+    gap jitter, then the 30/40 mph speed jitters, then the per-scenario
+    trigger jitters — exactly the original ``build_scenario`` sequence.
+    """
+
+    def __init__(
+        self,
+        family_id: str,
+        title: str,
+        lead_speeds_mph: Tuple[float, ...],
+        populate: Callable,
+    ) -> None:
+        super().__init__(family_id=family_id, title=title)
+        self.lead_speeds_mph = lead_speeds_mph
+        self._populate = populate
+
+    def build(self, config: ScenarioConfig) -> World:
+        world, rng, jit = scenario_base(config)
+        lead_s = lead_start_s(world.ego, config.initial_gap + jit(4.0))
+        v30 = mph_to_ms(30.0) + jit(0.45)
+        v40 = mph_to_ms(40.0) + jit(0.45)
+        self._populate(world, lead_s, v30, v40, jit)
+        return world
+
+
+def _populate_s1(world: World, lead_s: float, v30: float, v40: float, jit) -> None:
+    road = world.road
+    lv = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV")
+    world.add_agent(AgentBinding(lv, CruiseBehavior(v30)))
+
+
+def _populate_s2(world: World, lead_s: float, v30: float, v40: float, jit) -> None:
+    road = world.road
+    lv = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV")
+    behavior = SpeedChangeBehavior(
+        initial_speed=v30,
+        final_speed=v40,
+        trigger_gap=45.0 + jit(4.0),
+        rate=1.0,
+    )
+    world.add_agent(AgentBinding(lv, behavior))
+
+
+def _populate_s3(world: World, lead_s: float, v30: float, v40: float, jit) -> None:
+    road = world.road
+    lv = KinematicActor(road, s=lead_s, d=0.0, speed=v40, name="LV")
+    behavior = SpeedChangeBehavior(
+        initial_speed=v40,
+        final_speed=v30,
+        trigger_gap=35.0 + jit(4.0),
+        rate=2.0,
+    )
+    world.add_agent(AgentBinding(lv, behavior))
+
+
+def _populate_s4(world: World, lead_s: float, v30: float, v40: float, jit) -> None:
+    road = world.road
+    lv = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV")
+    behavior = SuddenStopBehavior(
+        speed=v30,
+        trigger_gap=72.0 + jit(8.0),
+        decel=6.5,
+    )
+    world.add_agent(AgentBinding(lv, behavior))
+
+
+def _populate_s5(world: World, lead_s: float, v30: float, v40: float, jit) -> None:
+    road = world.road
+    lv = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV")
+    world.add_agent(AgentBinding(lv, CruiseBehavior(v30)))
+    # The cut-in car starts in the adjacent (left) lane, slightly
+    # behind the lead, and merges when the ego closes in fast.
+    cut_s = lead_s - 20.0 + jit(3.0)
+    cut = KinematicActor(road, s=cut_s, d=road.lane_center(1), speed=v30, name="CutIn")
+    # A leisurely merge: at speed the ego reaches the merging car while
+    # it is still between lanes, so un-braked impacts are side impacts.
+    cut.lane_change_rate = 0.8
+    world.add_agent(
+        AgentBinding(cut, CutInBehavior(speed=v30, trigger_gap=26.0 + jit(3.0)))
+    )
+
+
+def _populate_s6(world: World, lead_s: float, v30: float, v40: float, jit) -> None:
+    road = world.road
+    far = KinematicActor(road, s=lead_s + 28.0, d=0.0, speed=v30, name="LV-far")
+    world.add_agent(AgentBinding(far, CruiseBehavior(v30)))
+    near = KinematicActor(road, s=lead_s, d=0.0, speed=v30, name="LV-near")
+    behavior = LaneChangeAwayBehavior(
+        speed=v30,
+        trigger_gap=40.0 + jit(4.0),
+        target_d=road.lane_center(1),
+    )
+    world.add_agent(AgentBinding(near, behavior))
+
+
+#: The paper's six families in paper order, registered below.
+PAPER_FAMILIES: Tuple[PaperScenarioFamily, ...] = tuple(
+    PaperScenarioFamily(fid, title, speeds, populate)
+    for fid, title, speeds, populate in (
+        ("S1", "Lead vehicle cruises at a constant 30 mph.", (30.0,), _populate_s1),
+        ("S2", "Lead cruises at 30 mph, then accelerates to 40 mph.", (30.0, 40.0), _populate_s2),
+        ("S3", "Lead cruises at 40 mph, then decelerates to 30 mph.", (40.0, 30.0), _populate_s3),
+        ("S4", "Lead cruises at 30 mph, then suddenly brakes to a stop.", (30.0,), _populate_s4),
+        ("S5", "Lead cruises at 30 mph; adjacent-lane vehicle cuts in.", (30.0,), _populate_s5),
+        ("S6", "Two leads at 30 mph; the nearer changes lane away.", (30.0,), _populate_s6),
+    )
+)
+
+# replace=True keeps module re-imports (test harnesses reloading the
+# package) idempotent instead of failing on the duplicate id.
+for _family in PAPER_FAMILIES:
+    register_family(_family, replace=True)

@@ -1,0 +1,261 @@
+"""Extra scenario families beyond the paper grid.
+
+Three workloads exercising sim capability the paper's S1-S6 grid leaves
+idle, registered as :class:`~repro.sim.families.ScenarioFamily` plugins
+(see :mod:`repro.sim.families`):
+
+* **friction-sweep** — a lead suddenly brakes on wet/icy tarmac; ``mu``
+  is a first-class continuous axis (the paper's Table VIII only reaches
+  friction through a campaign-wide override).
+* **curved-road** — a slow lead parked on a long constant curve of
+  configurable radius; stresses lateral grip and lane keeping the way
+  physical-world lane-keeping attacks do (Sato et al.).
+* **dense-traffic** — a platoon of ``n_vehicles`` mixed-behaviour
+  vehicles (cruise, slow-down, sudden stop, adjacent-lane cut-in) built
+  from :mod:`repro.sim.agents`.
+
+Every family builds deterministically from ``(params, seed)``: all
+jitter comes from the seeded per-scenario RNG stream, exactly like the
+paper families.
+"""
+
+from __future__ import annotations
+
+from repro.sim.agents import (
+    AgentBinding,
+    CruiseBehavior,
+    CutInBehavior,
+    SpeedChangeBehavior,
+    SuddenStopBehavior,
+)
+from repro.sim.families import (
+    ParamSpec,
+    ScenarioFamily,
+    lead_start_s,
+    register_family,
+    scenario_base,
+)
+from repro.sim.road import Road, RoadSegment
+from repro.sim.scenarios import ScenarioConfig
+from repro.sim.vehicle import KinematicActor
+from repro.sim.weather import FrictionCondition
+from repro.sim.world import World
+from repro.utils.units import mph_to_ms
+
+__all__ = [
+    "FrictionSweepFamily",
+    "CurvedRoadFamily",
+    "DenseTrafficFamily",
+    "WORKLOAD_FAMILIES",
+]
+
+
+class FrictionSweepFamily(ScenarioFamily):
+    """Sudden-stop lead on a surface of configurable grip.
+
+    The S4 pre-collision geometry — the hardest stop in the paper grid —
+    replayed across the friction range: ``mu`` caps both the lead's and
+    the ego's achievable deceleration through the friction circle, so
+    the same commanded stop produces very different stopping distances.
+    """
+
+    family_id = "friction-sweep"
+    title = "Sudden-stop lead on a wet/icy surface (mu is a sweep axis)."
+    params = (
+        ParamSpec(
+            "mu",
+            kind="float",
+            default=0.5,
+            minimum=0.05,
+            maximum=1.2,
+            help="road friction coefficient scale (1.0 = dry asphalt)",
+        ),
+        ParamSpec(
+            "lead_mph",
+            kind="float",
+            default=30.0,
+            minimum=5.0,
+            maximum=70.0,
+            help="lead cruise speed before the stop [mph]",
+        ),
+    )
+    default_initial_gaps = (60.0,)
+    report_axes = (("mu", (0.75, 0.5, 0.25)),)
+
+    def build(self, config: ScenarioConfig) -> World:
+        params = dict(config.params)
+        mu = params["mu"]
+        surface = FrictionCondition(f"mu={mu:g}", mu)
+        world, rng, jit = scenario_base(config, friction=surface)
+        lead_s = lead_start_s(world.ego, config.initial_gap + jit(4.0))
+        v_lead = mph_to_ms(params["lead_mph"]) + jit(0.45)
+        lv = KinematicActor(world.road, s=lead_s, d=0.0, speed=v_lead, name="LV")
+        # The stop itself is friction-clamped by the actor dynamics: on
+        # ice the lead physically cannot realise 6.5 m/s^2.
+        behavior = SuddenStopBehavior(
+            speed=v_lead, trigger_gap=72.0 + jit(8.0), decel=6.5
+        )
+        world.add_agent(AgentBinding(lv, behavior))
+        return world
+
+
+class CurvedRoadFamily(ScenarioFamily):
+    """Catch a slow lead on a long constant-radius curve.
+
+    The paper's highway map only sweeps 250-350 m radii; this family
+    makes curvature a first-class axis (down to tight 15 m-radius ramp
+    geometry) so lane-keeping interventions are stressed where lateral
+    grip actually runs out.
+    """
+
+    family_id = "curved-road"
+    title = "Slow lead encountered on a constant curve of configurable radius."
+    params = (
+        ParamSpec(
+            "curve_radius",
+            kind="float",
+            default=150.0,
+            minimum=15.0,
+            maximum=1000.0,
+            help="curve radius [m] (highway sweeps are 250-350 m)",
+        ),
+        ParamSpec(
+            "direction",
+            kind="str",
+            default="left",
+            choices=("left", "right"),
+            help="curve direction",
+        ),
+        ParamSpec(
+            "lead_mph",
+            kind="float",
+            default=30.0,
+            minimum=5.0,
+            maximum=70.0,
+            help="lead cruise speed [mph]",
+        ),
+    )
+    default_initial_gaps = (60.0,)
+    report_axes = (("curve_radius", (300.0, 150.0, 80.0)),)
+
+    def build(self, config: ScenarioConfig) -> World:
+        params = dict(config.params)
+        radius = params["curve_radius"]
+        sign = 1.0 if params["direction"] == "left" else -1.0
+        # Entry straight short enough that a 60 m gap closes *on* the
+        # curve; the arc is long enough that a 100 s episode at 50 mph
+        # (~2.2 km) never runs off its end.
+        road = Road(
+            [
+                RoadSegment(150.0, 0.0),
+                RoadSegment(1800.0, sign / radius),
+                RoadSegment(1500.0, 0.0),
+            ]
+        )
+        world, rng, jit = scenario_base(config, road=road)
+        lead_s = lead_start_s(world.ego, config.initial_gap + jit(4.0))
+        v_lead = mph_to_ms(params["lead_mph"]) + jit(0.45)
+        lv = KinematicActor(road, s=lead_s, d=0.0, speed=v_lead, name="LV")
+        world.add_agent(AgentBinding(lv, CruiseBehavior(v_lead)))
+        return world
+
+
+class DenseTrafficFamily(ScenarioFamily):
+    """A platoon of mixed-behaviour traffic ahead of the ego.
+
+    ``n_vehicles`` actors populate the ego lane (plus one adjacent-lane
+    cut-in vehicle when the platoon is three or more strong): the nearest
+    suddenly stops, the ones behind it alternate cruising and slowing
+    down — a compound version of the paper's S4/S5 interactions.
+    """
+
+    family_id = "dense-traffic"
+    title = "Mixed-behaviour platoon: sudden stop, slow-downs and a cut-in."
+    params = (
+        ParamSpec(
+            "n_vehicles",
+            kind="int",
+            default=4,
+            minimum=2,
+            maximum=8,
+            help="number of traffic vehicles",
+        ),
+        ParamSpec(
+            "spacing",
+            kind="float",
+            default=35.0,
+            minimum=15.0,
+            maximum=120.0,
+            help="nominal bumper spacing inside the platoon [m]",
+        ),
+        ParamSpec(
+            "lead_mph",
+            kind="float",
+            default=30.0,
+            minimum=5.0,
+            maximum=70.0,
+            help="platoon cruise speed [mph]",
+        ),
+    )
+    default_initial_gaps = (60.0,)
+    report_axes = (("n_vehicles", (2, 4, 6)),)
+
+    def build(self, config: ScenarioConfig) -> World:
+        params = dict(config.params)
+        world, rng, jit = scenario_base(config)
+        road, ego = world.road, world.ego
+        n = params["n_vehicles"]
+        spacing = params["spacing"]
+        gap = config.initial_gap + jit(4.0)
+        v_base = mph_to_ms(params["lead_mph"])
+
+        s = lead_start_s(ego, gap)
+        for index in range(n):
+            speed = v_base + jit(0.45)
+            actor = KinematicActor(road, s=s, d=0.0, speed=speed, name=f"T{index}")
+            if index == 0:
+                behavior = SuddenStopBehavior(
+                    speed=speed, trigger_gap=60.0 + jit(6.0), decel=5.5
+                )
+            elif index % 2 == 1:
+                behavior = SpeedChangeBehavior(
+                    initial_speed=speed,
+                    final_speed=max(0.5 * speed, speed - 4.0),
+                    trigger_gap=spacing + 20.0 + jit(4.0),
+                    rate=1.5,
+                )
+            else:
+                behavior = CruiseBehavior(speed)
+            world.add_agent(AgentBinding(actor, behavior))
+            s += spacing + jit(3.0) + actor.params.length
+
+        if n >= 3 and road.num_lanes > 1:
+            # One merger from the adjacent lane, between the two nearest
+            # platoon vehicles — the S5 interaction inside dense traffic.
+            cut_speed = v_base + 1.0 + jit(0.45)
+            cut = KinematicActor(
+                road,
+                s=ego.front_s + gap + 0.6 * spacing,
+                d=road.lane_center(1),
+                speed=cut_speed,
+                name="CutIn",
+            )
+            cut.lane_change_rate = 0.9
+            world.add_agent(
+                AgentBinding(
+                    cut, CutInBehavior(speed=cut_speed, trigger_gap=28.0 + jit(3.0))
+                )
+            )
+        return world
+
+
+#: The extra workload families, in registration order.
+WORKLOAD_FAMILIES = (
+    FrictionSweepFamily(),
+    CurvedRoadFamily(),
+    DenseTrafficFamily(),
+)
+
+# replace=True keeps module re-imports idempotent (see scenarios.py).
+for _family in WORKLOAD_FAMILIES:
+    register_family(_family, replace=True)
