@@ -8,14 +8,13 @@ should approach Nx the serial episode throughput (>= 2x at ``jobs=4`` on
 4 cores), while returning bit-identical results.
 """
 
-import os
 import time
 
 import pytest
 
 from repro.attacks.campaign import CampaignSpec, EpisodeSpec
 from repro.attacks.fi import FaultType
-from repro.core.executor import ParallelExecutor, SerialExecutor
+from repro.core.executor import ParallelExecutor, SerialExecutor, available_cores
 from repro.core.experiment import run_campaign
 from repro.core.platform import SimulationPlatform
 from repro.safety.aebs import AebsConfig
@@ -76,15 +75,8 @@ def test_campaign_throughput_serial(benchmark):
     assert len(campaign.results) == 12
 
 
-def _available_cores() -> int:
-    """CPUs actually usable by this process (affinity/cgroup aware)."""
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
-
-
 def test_campaign_throughput_parallel(benchmark):
-    jobs = min(4, _available_cores())
+    jobs = min(4, available_cores())
     campaign = benchmark.pedantic(
         lambda: _run_campaign_with(ParallelExecutor(jobs=jobs)),
         rounds=1,
@@ -105,7 +97,7 @@ def test_parallel_speedup_report(capsys):
     serial = _run_campaign_with(SerialExecutor())
     serial_s = time.perf_counter() - started
 
-    cores = _available_cores()
+    cores = available_cores()
     jobs = min(4, cores)
     started = time.perf_counter()
     parallel = _run_campaign_with(ParallelExecutor(jobs=jobs))

@@ -1,0 +1,147 @@
+"""Scheduler dispatch overhead and fleet throughput scaling.
+
+Not a paper table — the engineering bench that keeps the distributed
+scheduler honest.  Two questions:
+
+* **Dispatch overhead per shard** — what does plan → dispatch → collect
+  cost *beyond* running the episodes?  Measured on a tiny-step campaign
+  so the fixed costs (shard files, sidecars, spec I/O, merge validation)
+  dominate; reported per shard.
+* **Throughput scaling** — serial ``run_campaign`` vs the in-process
+  backend vs a real 2-worker subprocess fleet on the same grid, with the
+  bit-identical guarantee asserted along the way (reported like
+  ``bench_platform_speed.py``'s speedup report).
+
+A subprocess fleet pays ~1 interpreter start-up per worker, so it only
+wins once shards carry real work — exactly what the report prints.
+"""
+
+import os
+import sys
+import time
+
+from _bench_utils import repetitions, run_once
+
+from repro.attacks.campaign import CampaignSpec
+from repro.attacks.fi import FaultType
+from repro.core.executor import available_cores
+from repro.core.scheduler import (
+    InProcessBackend,
+    SubprocessFleetBackend,
+    dispatch_campaign,
+)
+from repro.core.experiment import run_campaign
+from repro.safety.aebs import AebsConfig
+from repro.safety.arbitration import InterventionConfig
+
+_CFG = InterventionConfig(driver=True, aeb=AebsConfig.INDEPENDENT)
+
+
+def _grid(reps: int) -> CampaignSpec:
+    return CampaignSpec(
+        fault_types=[FaultType.RELATIVE_DISTANCE],
+        initial_gaps=(60.0,),
+        repetitions=reps,
+        seed=2025,
+    )
+
+
+def _fleet_env() -> None:
+    """Let spawned ``repro worker`` processes import this checkout."""
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    existing = os.environ.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = src + (
+            os.pathsep + existing if existing else ""
+        )
+
+
+def test_dispatch_overhead_per_shard(benchmark, tmp_path, capsys):
+    """Fixed scheduler cost per shard, isolated from simulation time.
+
+    A 12-episode campaign at max_steps=50 is almost all overhead: the
+    delta between a scheduled dispatch (4 shards -> 4 shard files, spec
+    validation, merge) and a bare ``run_campaign`` is the scheduler tax.
+    """
+    spec = _grid(2)  # 12 episodes
+
+    started = time.perf_counter()
+    bare = run_campaign(spec, _CFG, cache=False, max_steps=50)
+    bare_s = time.perf_counter() - started
+
+    shards = 4
+
+    def dispatch():
+        return dispatch_campaign(
+            spec,
+            _CFG,
+            backend=InProcessBackend(),
+            shards=shards,
+            workdir=str(tmp_path / "wd"),
+            cache=False,
+            max_steps=50,
+        )
+
+    dispatched = run_once(benchmark, dispatch)
+    assert dispatched.results == bare.results
+    scheduled_s = benchmark.stats.stats.mean
+    per_shard_ms = max(0.0, (scheduled_s - bare_s)) * 1000 / shards
+    with capsys.disabled():
+        print(
+            f"\ndispatch overhead: bare {bare_s * 1000:.1f} ms, scheduled "
+            f"{scheduled_s * 1000:.1f} ms over {shards} shards "
+            f"(~{per_shard_ms:.1f} ms/shard)"
+        )
+
+
+def test_fleet_throughput_scaling(tmp_path, capsys):
+    """Serial vs in-process backend vs 2-worker subprocess fleet.
+
+    Printed like ``bench_platform_speed.py``'s speedup report; the hard
+    assertion is bit-identical results across all three paths (wall-clock
+    ratios are hardware- and load-dependent, so they are reported, not
+    gated).
+    """
+    _fleet_env()
+    spec = _grid(repetitions(2))  # 12 episodes per default rep count
+    max_steps = 2000
+
+    started = time.perf_counter()
+    serial = run_campaign(spec, _CFG, cache=False, max_steps=max_steps)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    in_process = dispatch_campaign(
+        spec,
+        _CFG,
+        backend=InProcessBackend(),
+        workdir=str(tmp_path / "inproc"),
+        cache=False,
+        max_steps=max_steps,
+    )
+    in_process_s = time.perf_counter() - started
+
+    workers = min(2, available_cores())
+    started = time.perf_counter()
+    fleet = dispatch_campaign(
+        spec,
+        _CFG,
+        backend=SubprocessFleetBackend(workers=workers, python=sys.executable),
+        workdir=str(tmp_path / "fleet"),
+        cache=False,
+        max_steps=max_steps,
+    )
+    fleet_s = time.perf_counter() - started
+
+    assert in_process.results == serial.results
+    assert fleet.results == serial.results
+    fleet_speedup = serial_s / fleet_s if fleet_s > 0 else float("inf")
+    with capsys.disabled():
+        print(
+            f"\nscheduler throughput ({len(serial.results)} episodes): "
+            f"serial {serial_s:.2f}s, in-process backend {in_process_s:.2f}s, "
+            f"{workers}-worker fleet {fleet_s:.2f}s "
+            f"({fleet_speedup:.2f}x vs serial, {available_cores()} cores)"
+        )

@@ -32,18 +32,27 @@ from repro.attacks import (
 )
 from repro.core import (
     AccidentType,
+    CacheBackend,
     CampaignCache,
     CampaignExecutor,
+    CampaignPlan,
     CampaignResult,
+    DirectoryCacheBackend,
     EpisodeResult,
+    MemoryCacheBackend,
     ParallelExecutor,
     SerialExecutor,
     SimulationPlatform,
+    TieredCache,
+    WorkerBackend,
     aggregate,
     campaign_digest,
     default_cache,
+    dispatch_campaign,
     load_results,
+    make_backend,
     merge_shards,
+    registered_backends,
     run_campaign,
     run_episode,
     save_results,
@@ -73,7 +82,16 @@ __all__ = [
     "ShardSpec",
     "enumerate_campaign",
     "AccidentType",
+    "CacheBackend",
     "CampaignCache",
+    "CampaignPlan",
+    "DirectoryCacheBackend",
+    "MemoryCacheBackend",
+    "TieredCache",
+    "WorkerBackend",
+    "dispatch_campaign",
+    "make_backend",
+    "registered_backends",
     "CampaignExecutor",
     "CampaignResult",
     "EpisodeResult",

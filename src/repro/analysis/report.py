@@ -108,6 +108,16 @@ class ReportConfig:
             artifacts after the paper tables (``repro report --family``);
             each family contributes one campaign arm per point of its
             declared ``report_axes`` sweep.
+        backend: registered worker-backend name (``repro report
+            --backend``); when set, every report campaign routes through
+            the distributed scheduler (:mod:`repro.core.scheduler`), so
+            shards execute on the worker fleet, land in the shared cache,
+            and the incremental report fills in as they arrive.  ``None``
+            keeps the historical direct ``run_campaign`` path (itself a
+            single-shard plan).
+        workers: worker count for the scheduler backend.
+        workdir: shard work directory for the scheduler backend (reused
+            across runs, it makes crashed report campaigns resume).
         log: progress sink (e.g. ``print``).
     """
 
@@ -119,6 +129,9 @@ class ReportConfig:
     cache_dir: Optional[str] = None
     resume_dir: Optional[str] = None
     extra_families: tuple = ()
+    backend: Optional[str] = None
+    workers: Optional[int] = None
+    workdir: Optional[str] = None
     log: Optional[Callable[[str], None]] = None
 
     def _say(self, message: str) -> None:
@@ -167,13 +180,35 @@ def _run_report_campaign(
     ml_factory: Optional[Callable[[], object]] = None,
     ml_token: Optional[str] = None,
 ) -> CampaignResult:
-    """One report campaign through the persistence layer (cache + resume)."""
+    """One report campaign through the persistence layer (cache + resume).
+
+    With ``config.backend`` set, the campaign instead goes through the
+    distributed scheduler's plan → dispatch → collect pipeline: shards
+    execute on the configured worker fleet and the collected campaign is
+    written through the shared cache under the same digest the report DAG
+    resolves, so the incremental report sees it exactly as if it had run
+    locally.
+    """
+    cache = config.cache()
+    if config.backend:
+        from repro.core.scheduler import dispatch_campaign
+
+        return dispatch_campaign(
+            campaign,
+            interventions,
+            backend=config.backend,
+            workers=config.workers,
+            workdir=config.workdir,
+            ml_factory=ml_factory,
+            jobs=config.jobs,
+            cache=cache if cache is not None else False,
+            log=config._say,
+        )
     resume_path = None
     if config.resume_dir:
         resume_path = config.resume_path_for(
             campaign_digest(campaign, interventions, ml_token=ml_token)
         )
-    cache = config.cache()
     return run_campaign(
         campaign,
         interventions,

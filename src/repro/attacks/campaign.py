@@ -69,6 +69,17 @@ class ShardSpec:
             )
 
     @classmethod
+    def partition(cls, count: int) -> List["ShardSpec"]:
+        """All ``count`` shards of a campaign, in shard-index order.
+
+        The scheduler's plan phase uses this to decompose one campaign
+        into its complete, non-overlapping shard set: concatenating the
+        slices of ``partition(n)`` reproduces the unsharded enumeration
+        exactly.
+        """
+        return [cls(index=index, count=count) for index in range(1, count + 1)]
+
+    @classmethod
     def parse(cls, text: str) -> "ShardSpec":
         """Parse the CLI form ``"I/N"`` (e.g. ``"2/4"``).
 

@@ -4,6 +4,12 @@ Commands:
 
 * ``episode``   — run one episode and print its measurements.
 * ``campaign``  — run one campaign (optionally a shard) and write JSONL.
+* ``dispatch``  — plan → dispatch → collect one campaign over a worker
+  backend (``--backend in-process|subprocess|ssh --workers N``).
+* ``worker``    — execute one shard-spec file (the fleet worker entry
+  point; normally spawned by ``dispatch``, not by hand).
+* ``cache``     — campaign-cache maintenance (``list`` / ``verify`` /
+  ``gc --keep-days N``).
 * ``scenarios`` — inspect the scenario-family registry (``scenarios
   list [--json]``).
 * ``merge``     — validate and concatenate shard JSONL files.
@@ -57,6 +63,19 @@ content digest so a repeated campaign executes zero episodes.  The grid
 commands (``table4`` .. ``table8``, ``report``, ``episode``) take
 ``--resume DIR`` instead: each constituent campaign resumes from a
 digest-named file in that directory.
+
+``repro dispatch`` (and ``repro campaign --backend B``) drives the full
+scheduler pipeline (:mod:`repro.core.scheduler`): the grid is planned
+into digest-keyed shard jobs, a worker backend executes them — the
+``subprocess`` backend spawns ``--workers N`` ``repro worker`` processes,
+each consuming a shard-spec file from ``--workdir`` — and the collector
+validates the shard JSONLs under the ``repro merge`` invariants before
+writing the merged campaign (and the shared cache) byte-identically to a
+serial run.  Killed workers are relaunched and resume their shard from
+its valid JSONL prefix; a repeat dispatch against a warm cache executes
+zero episodes.  ``repro report --backend B --workers N`` routes every
+report grid through the same scheduler, so remote shards land in the
+shared cache and ``report --incremental`` fills in as they arrive.
 
 Scenario families
 -----------------
@@ -118,11 +137,20 @@ from repro.attacks.campaign import (
 from repro.attacks.fi import FaultType
 from repro.core.cache import (
     CampaignCache,
+    cache_entries,
     campaign_digest,
+    gc_cache,
     resume_file_for,
+    verify_cache,
     write_digest_sidecar,
 )
 from repro.core.experiment import merge_shards, run_campaign
+from repro.core.scheduler import (
+    SchedulerError,
+    dispatch_campaign,
+    load_job_spec,
+    registered_backends,
+)
 from repro.safety.aebs import AebsConfig
 from repro.safety.arbitration import InterventionConfig
 from repro.sim.families import (
@@ -319,6 +347,9 @@ def _report_config_from_args(args, log=None) -> ReportConfig:
         cache_dir=getattr(args, "cache_dir", None),
         resume_dir=getattr(args, "resume", None),
         extra_families=families,
+        backend=getattr(args, "backend", None),
+        workers=getattr(args, "workers", None),
+        workdir=getattr(args, "workdir", None),
         log=log,
         **kwargs,
     )
@@ -335,6 +366,26 @@ def _add_grid_persistence_flags(parser: argparse.ArgumentParser) -> None:
         help="resume each constituent campaign from a digest-named JSONL "
         "file in DIR (files are created on first run)",
     )
+
+
+def _human_size(size: float) -> str:
+    """Bytes as a compact human-readable figure (``12.3 KiB``)."""
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _human_age(seconds: float) -> str:
+    """Seconds as a compact age (``45s``, ``3.2h``, ``9.1d``)."""
+    if seconds < 60:
+        return f"{int(seconds)}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    if seconds < 86400:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
 
 
 _SHARD_NAME_RE = re.compile(r"shard-(\d+)-of-(\d+)")
@@ -390,6 +441,168 @@ def _persistence_kwargs(args, campaign, interventions, ml_token=None) -> dict:
     return kwargs
 
 
+def _add_campaign_grid_flags(parser: argparse.ArgumentParser) -> None:
+    """The grid-selection flags ``campaign`` and ``dispatch`` share.
+
+    Both commands must enumerate the *same* campaign from the same flags,
+    or a dispatched grid would not byte-compare against its serial run.
+    """
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="FAMILY",
+        help="scenario family to sweep (repeatable; default: the paper's "
+        "S1-S6 — see 'repro scenarios list')",
+    )
+    _add_scenario_param_flag(parser)
+    parser.add_argument(
+        "--fault",
+        action="append",
+        choices=[f.value for f in FaultType],
+        default=None,
+        metavar="FAULT",
+        help="fault type to sweep (repeatable; default: the three attacked "
+        "fault types)",
+    )
+    parser.add_argument("--reps", type=int, default=2, help="repetitions per cell")
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument(
+        "--max-steps",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="cap episode length in simulation steps (smoke tests / CI)",
+    )
+    _add_intervention_flags(parser)
+
+
+def _campaign_spec_from_args(args) -> CampaignSpec:
+    """A :class:`CampaignSpec` from the shared grid flags.
+
+    Raises:
+        ValueError: unknown scenario family, invalid sweep values, or an
+            otherwise inconsistent grid (the messages name the flag).
+    """
+    fault_values = args.fault or [f.value for f in ATTACK_FAULT_TYPES]
+    scenario_ids = tuple(args.scenario) if args.scenario else None
+    param_axes = {}
+    initial_gaps = None
+    if args.scenario_param:
+        if scenario_ids is None or len(scenario_ids) != 1:
+            raise ValueError(
+                "--scenario-param sweeps are per-family: select "
+                "exactly one family with --scenario"
+            )
+        family = get_family(scenario_ids[0])
+        param_axes, initial_gaps = _scenario_axes(family, args.scenario_param)
+    elif scenario_ids is not None:
+        for sid in scenario_ids:
+            get_family(sid)  # fail with the named-family error
+    if initial_gaps is None and scenario_ids is not None and len(scenario_ids) == 1:
+        # A single selected family supplies its own gap axis — one of the
+        # inputs the report's family-sweep arms are keyed on (matching
+        # their digests additionally requires the arm's fault type and
+        # intervention flags; see the README's family workflow).  The
+        # paper default (60, 230) still applies to multi-family and
+        # default-grid campaigns.
+        initial_gaps = get_family(scenario_ids[0]).default_initial_gaps
+    spec_kwargs = {}
+    if scenario_ids is not None:
+        spec_kwargs["scenario_ids"] = scenario_ids
+    if initial_gaps is not None:
+        spec_kwargs["initial_gaps"] = initial_gaps
+    return CampaignSpec(
+        fault_types=[FaultType(v) for v in fault_values],
+        repetitions=args.reps,
+        seed=args.seed,
+        param_axes=tuple(param_axes.items()),
+        **spec_kwargs,
+    )
+
+
+def _add_backend_flags(
+    parser: argparse.ArgumentParser, default_backend: Optional[str] = None
+) -> None:
+    """``--backend`` / ``--workers`` / ``--workdir`` scheduler flags."""
+    parser.add_argument(
+        "--backend",
+        default=default_backend,
+        metavar="NAME",
+        help="worker backend for scheduled dispatch "
+        f"({', '.join(registered_backends())})"
+        + ("" if default_backend is None else f"; default {default_backend}"),
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker count for the backend (fleet backends default to one "
+        "shard per worker)",
+    )
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="work directory for shard JSONLs, spec files and worker logs "
+        "(reuse it to resume a crashed dispatch; default: a private "
+        "temporary directory)",
+    )
+
+
+def _add_dispatch_tuning_flags(parser: argparse.ArgumentParser) -> None:
+    """Dispatch-only scheduler flags (``campaign``/``dispatch``).
+
+    Kept off ``report``, which does not forward them — a silently dropped
+    flag is worse than an unrecognised one.
+    """
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="shard jobs to plan (default: one per worker)",
+    )
+    parser.add_argument(
+        "--ssh-command",
+        default=None,
+        metavar="TEMPLATE",
+        help="command template for --backend ssh, with a {command} "
+        "placeholder (e.g. 'ssh build-host {command}'; default: the "
+        "REPRO_SSH_COMMAND environment variable)",
+    )
+
+
+def _backend_kwargs(args) -> dict:
+    """``dispatch_campaign`` backend arguments from the shared flags.
+
+    Raises:
+        ValueError: ``--ssh-command`` with a non-ssh backend.
+    """
+    if args.ssh_command and args.backend != "ssh":
+        raise ValueError(
+            f"--ssh-command only applies to '--backend ssh', got "
+            f"--backend {args.backend}"
+        )
+    backend = args.backend
+    if backend == "ssh" and args.ssh_command:
+        from repro.core.scheduler import SSHBackend
+
+        backend = SSHBackend(
+            workers=args.workers,
+            jobs=args.jobs,
+            command_template=args.ssh_command,
+        )
+    return {
+        "backend": backend,
+        "workers": args.workers,
+        "shards": args.shards,
+        "workdir": args.workdir,
+        "jobs": args.jobs,
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ADAS safety-intervention reproduction toolkit"
@@ -425,26 +638,7 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="run one campaign (optionally a shard of it) and write JSONL",
     )
-    camp.add_argument(
-        "--scenario",
-        action="append",
-        default=None,
-        metavar="FAMILY",
-        help="scenario family to sweep (repeatable; default: the paper's "
-        "S1-S6 — see 'repro scenarios list')",
-    )
-    _add_scenario_param_flag(camp)
-    camp.add_argument(
-        "--fault",
-        action="append",
-        choices=[f.value for f in FaultType],
-        default=None,
-        metavar="FAULT",
-        help="fault type to sweep (repeatable; default: the three attacked "
-        "fault types)",
-    )
-    camp.add_argument("--reps", type=int, default=2, help="repetitions per cell")
-    camp.add_argument("--seed", type=int, default=2025)
+    _add_campaign_grid_flags(camp)
     camp.add_argument(
         "--shard",
         type=_parse_shard,
@@ -467,16 +661,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume into --output: skip the episodes its valid JSONL "
         "prefix already records and run only the remainder",
     )
-    camp.add_argument(
-        "--max-steps",
-        type=_positive_int,
-        default=None,
-        metavar="N",
-        help="cap episode length in simulation steps (smoke tests / CI)",
-    )
-    _add_intervention_flags(camp)
     _add_jobs_flag(camp)
     _add_cache_flag(camp)
+    _add_backend_flags(camp)
+    _add_dispatch_tuning_flags(camp)
+
+    dis = sub.add_parser(
+        "dispatch",
+        help="plan, dispatch and collect one campaign over a worker backend",
+    )
+    _add_campaign_grid_flags(dis)
+    dis.add_argument(
+        "--output",
+        "-o",
+        default="dispatch.jsonl",
+        metavar="FILE",
+        help="merged campaign JSONL path (default: dispatch.jsonl)",
+    )
+    _add_jobs_flag(dis)
+    _add_cache_flag(dis)
+    _add_backend_flags(dis, default_backend="subprocess")
+    _add_dispatch_tuning_flags(dis)
+
+    wk = sub.add_parser(
+        "worker",
+        help="execute one shard-spec file (the fleet worker entry point)",
+    )
+    wk.add_argument(
+        "--spec",
+        required=True,
+        metavar="FILE",
+        help="shard-spec JSON written by the scheduler "
+        "(repro.core.scheduler.write_job_spec)",
+    )
+    _add_jobs_flag(wk)
+
+    ca = sub.add_parser(
+        "cache",
+        help="campaign-cache maintenance (read-only except 'gc')",
+    )
+    ca.add_argument(
+        "action",
+        choices=["list", "verify", "gc"],
+        help="list entries, strict-verify every entry, or delete old ones",
+    )
+    _add_cache_flag(ca)
+    ca.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    ca.add_argument(
+        "--keep-days",
+        type=float,
+        default=None,
+        metavar="N",
+        help="gc only: delete entries last written more than N days ago "
+        "(0 deletes everything)",
+    )
 
     mg = sub.add_parser(
         "merge",
@@ -512,6 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of blocking on every campaign",
     )
     _add_grid_persistence_flags(rep)
+    _add_backend_flags(rep)
 
     st = sub.add_parser(
         "report-status",
@@ -555,6 +796,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"repro: error: {exc}", file=sys.stderr)
             return 2
 
+    # Umbrella for configuration errors every command can hit (a malformed
+    # REPRO_CACHE_DIR consulted deep inside run_campaign, an unwritable
+    # output directory): fail fast with the message, never a traceback.
+    # BrokenPipeError must keep propagating — __main__ turns it into the
+    # conventional 141 for `repro ... | head`.
+    try:
+        return _run(args)
+    except BrokenPipeError:
+        raise
+    except (ValueError, OSError, SchedulerError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args) -> int:
     if args.command == "episode":
         try:
             family = get_family(args.scenario)
@@ -628,88 +884,79 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(line)
         return 0
 
-    if args.command == "campaign":
-        fault_values = args.fault or [f.value for f in ATTACK_FAULT_TYPES]
-        try:
-            scenario_ids = tuple(args.scenario) if args.scenario else None
-            param_axes = {}
-            initial_gaps = None
-            if args.scenario_param:
-                if scenario_ids is None or len(scenario_ids) != 1:
-                    raise ValueError(
-                        "--scenario-param sweeps are per-family: select "
-                        "exactly one family with --scenario"
-                    )
-                family = get_family(scenario_ids[0])
-                param_axes, initial_gaps = _scenario_axes(
-                    family, args.scenario_param
+    if args.command in ("campaign", "dispatch"):
+        scheduled = args.command == "dispatch" or args.backend is not None
+        if args.command == "campaign" and scheduled:
+            if args.shard is not None:
+                raise ValueError(
+                    "--backend plans its own shards; --shard selects one "
+                    "slice by hand — use one or the other"
                 )
-            elif scenario_ids is not None:
-                for sid in scenario_ids:
-                    get_family(sid)  # fail with the named-family error
-            if (
-                initial_gaps is None
-                and scenario_ids is not None
-                and len(scenario_ids) == 1
-            ):
-                # A single selected family supplies its own gap axis — one
-                # of the inputs the report's family-sweep arms are keyed
-                # on (matching their digests additionally requires the
-                # arm's fault type and intervention flags; see the README's
-                # family workflow).  The paper default (60, 230) still
-                # applies to multi-family and default-grid campaigns.
-                initial_gaps = get_family(scenario_ids[0]).default_initial_gaps
-            spec_kwargs = {}
-            if scenario_ids is not None:
-                spec_kwargs["scenario_ids"] = scenario_ids
-            if initial_gaps is not None:
-                spec_kwargs["initial_gaps"] = initial_gaps
-            spec = CampaignSpec(
-                fault_types=[FaultType(v) for v in fault_values],
-                repetitions=args.reps,
-                seed=args.seed,
-                param_axes=tuple(param_axes.items()),
-                **spec_kwargs,
-            )
-        except ValueError as exc:  # includes UnknownScenarioError
-            print(f"repro: error: {exc}", file=sys.stderr)
-            return 2
-        episodes = enumerate_campaign(spec, shard=args.shard)
+            if args.resume:
+                raise ValueError(
+                    "--backend resumes shards from --workdir automatically; "
+                    "drop --resume (or dispatch without --backend)"
+                )
+        # ValueError (including UnknownScenarioError) propagates to main()'s
+        # umbrella handler: one "repro: error" formatter, one exit code.
+        spec = _campaign_spec_from_args(args)
         cfg = _interventions_from_args(args)
+        shard = getattr(args, "shard", None)
+        episodes = enumerate_campaign(spec, shard=shard)
         output = args.output
         if output is None:
             output = (
-                f"campaign-shard-{args.shard.index}-of-{args.shard.count}.jsonl"
-                if args.shard
+                f"campaign-shard-{shard.index}-of-{shard.count}.jsonl"
+                if shard
                 else "campaign.jsonl"
             )
         platform_kwargs = {}
         if args.max_steps is not None:
             platform_kwargs["max_steps"] = args.max_steps
+        cache = CampaignCache(args.cache_dir) if args.cache_dir else None
 
         def progress(done, total):
             print(f"\r  {done}/{total} episodes", end="", file=sys.stderr)
             if done == total:
                 print(file=sys.stderr)
 
-        shard_note = f" (shard {args.shard})" if args.shard else ""
+        if scheduled:
+            backend_kwargs = _backend_kwargs(args)
+            print(
+                f"dispatching {len(episodes)} episodes under {cfg.label()} "
+                f"via backend {args.backend!r} ...",
+                file=sys.stderr,
+            )
+            campaign = dispatch_campaign(
+                episodes,
+                cfg,
+                cache=cache,
+                progress=progress if episodes else None,
+                log=lambda line: print(f"  {line}", file=sys.stderr),
+                **backend_kwargs,
+                **platform_kwargs,
+            )
+            campaign.save(output)
+            write_digest_sidecar(
+                output, campaign_digest(episodes, cfg, **platform_kwargs)
+            )
+            print(f"wrote {len(campaign.results)} episodes -> {output}")
+            return 0
+
+        shard_note = f" (shard {shard})" if shard else ""
         print(
             f"running {len(episodes)} episodes under {cfg.label()}{shard_note} ...",
             file=sys.stderr,
         )
-        try:
-            campaign = run_campaign(
-                episodes,
-                cfg,
-                jobs=args.jobs,
-                cache=CampaignCache(args.cache_dir) if args.cache_dir else None,
-                resume_path=output if args.resume else None,
-                progress=progress if episodes else None,
-                **platform_kwargs,
-            )
-        except (ValueError, OSError) as exc:
-            print(f"repro: error: {exc}", file=sys.stderr)
-            return 2
+        campaign = run_campaign(
+            episodes,
+            cfg,
+            jobs=args.jobs,
+            cache=cache,
+            resume_path=output if args.resume else None,
+            progress=progress if episodes else None,
+            **platform_kwargs,
+        )
         if not args.resume:
             campaign.save(output)
             # Record the content digest next to the file so a later
@@ -719,6 +966,114 @@ def main(argv: Optional[List[str]] = None) -> int:
                 output, campaign_digest(episodes, cfg, **platform_kwargs)
             )
         print(f"wrote {len(campaign.results)} episodes -> {output}")
+        return 0
+
+    if args.command == "worker":
+        # The fleet worker entry point: reconstruct the shard from its
+        # spec file (digest-verified), resume into the shard JSONL, and
+        # report the resumed/executed split so schedulers (and the crash-
+        # recovery tests) can prove completed episodes never re-execute.
+        from repro.core.metrics import count_records
+
+        job = load_job_spec(args.spec)
+        ml_factory = None
+        if job.ml_pickle is not None:
+            import pickle
+
+            with open(job.ml_pickle, "rb") as handle:
+                ml_factory = pickle.load(handle)
+        prior = count_records(job.output)
+        total = len(job.episodes)
+        print(
+            f"worker: shard {job.shard}: {prior} episodes already recorded; "
+            f"executing {max(0, total - prior)} of {total}",
+            file=sys.stderr,
+        )
+        campaign = run_campaign(
+            job.episodes,
+            job.interventions,
+            ml_factory=ml_factory,
+            jobs=args.jobs,
+            resume_path=job.output,
+            # Cache policy belongs to the scheduler, which resolved it (env
+            # included) at dispatch time: a null cache_dir means caching is
+            # off for this plan, so the worker must not fall back to its
+            # own REPRO_CACHE_DIR environment.
+            cache=CampaignCache(job.cache_dir) if job.cache_dir else False,
+            **job.platform_kwargs,
+        )
+        print(
+            f"worker: shard {job.shard}: wrote {len(campaign.results)} "
+            f"episodes -> {job.output}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.command == "cache":
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+        if not cache_dir:
+            raise ValueError(
+                "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR"
+            )
+        # Maintenance must never materialise the directory ('list' and
+        # 'verify' are documented read-only); a missing directory is just
+        # an empty cache.
+        cache = CampaignCache(cache_dir, create=False)
+        if args.action == "list":
+            entries = cache_entries(cache)
+            if args.json:
+                print(
+                    json.dumps(
+                        {
+                            "format": 1,
+                            "root": cache.root,
+                            "entries": [
+                                {
+                                    "digest": e.key,
+                                    "episodes": e.episodes,
+                                    "size_bytes": e.size_bytes,
+                                    "age_seconds": round(e.age_seconds, 3),
+                                }
+                                for e in entries
+                            ],
+                        },
+                        indent=2,
+                    )
+                )
+                return 0
+            print(f"{'digest':<16} {'episodes':>8} {'size':>10} {'age':>8}")
+            for e in entries:
+                print(
+                    f"{e.key[:16]:<16} {e.episodes:>8} "
+                    f"{_human_size(e.size_bytes):>10} {_human_age(e.age_seconds):>8}"
+                )
+            total_bytes = sum(e.size_bytes for e in entries)
+            print(
+                f"{len(entries)} entries, {_human_size(total_bytes)} in "
+                f"{cache.root}"
+            )
+            return 0
+        if args.action == "verify":
+            report = verify_cache(cache)
+            corrupt = {k: err for k, err in report.items() if err is not None}
+            for key in sorted(report):
+                state = "ok" if report[key] is None else f"CORRUPT: {report[key]}"
+                print(f"{key[:16]}  {state}")
+            print(
+                f"verified {len(report)} entries: {len(report) - len(corrupt)} "
+                f"ok, {len(corrupt)} corrupt"
+            )
+            return 1 if corrupt else 0
+        # gc
+        if args.keep_days is None:
+            raise ValueError("cache gc requires --keep-days N")
+        removed, reclaimed = gc_cache(cache, keep_days=args.keep_days)
+        for key in removed:
+            print(f"removed {key[:16]}")
+        print(
+            f"gc: removed {len(removed)} entries, reclaimed "
+            f"{_human_size(reclaimed)}"
+        )
         return 0
 
     if args.command == "merge":

@@ -9,10 +9,12 @@
   perception, fault injection, ADAS, safety interventions and arbitration.
 * :mod:`repro.core.executor` — pluggable campaign execution backends
   (serial / process-pool) with deterministic, ordered results.
-* :mod:`repro.core.cache` — digest-keyed campaign result cache
-  (``REPRO_CACHE_DIR``).
+* :mod:`repro.core.cache` — digest-keyed campaign result cache behind
+  pluggable storage backends (``REPRO_CACHE_DIR``).
 * :mod:`repro.core.experiment` — campaign execution (sharding, resume,
   caching) and aggregation.
+* :mod:`repro.core.scheduler` — the distributed campaign scheduler
+  (plan → dispatch → collect over a registry of worker backends).
 """
 
 from repro.core.hazards import AccidentType, HazardMonitor
@@ -22,14 +24,37 @@ from repro.core.executor import (
     CampaignExecutor,
     ParallelExecutor,
     SerialExecutor,
+    available_cores,
     make_executor,
 )
-from repro.core.cache import CampaignCache, campaign_digest, default_cache
+from repro.core.cache import (
+    CacheBackend,
+    CampaignCache,
+    DirectoryCacheBackend,
+    MemoryCacheBackend,
+    TieredCache,
+    campaign_digest,
+    default_cache,
+)
 from repro.core.experiment import (
     CampaignResult,
     merge_shards,
     run_campaign,
     run_episode,
+)
+from repro.core.scheduler import (
+    CampaignPlan,
+    InProcessBackend,
+    SSHBackend,
+    SchedulerError,
+    ShardJob,
+    SubprocessFleetBackend,
+    UnknownBackendError,
+    WorkerBackend,
+    dispatch_campaign,
+    make_backend,
+    register_backend,
+    registered_backends,
 )
 
 __all__ = [
@@ -44,12 +69,29 @@ __all__ = [
     "CampaignExecutor",
     "ParallelExecutor",
     "SerialExecutor",
+    "available_cores",
     "make_executor",
+    "CacheBackend",
     "CampaignCache",
+    "DirectoryCacheBackend",
+    "MemoryCacheBackend",
+    "TieredCache",
     "campaign_digest",
     "default_cache",
     "CampaignResult",
     "merge_shards",
     "run_campaign",
     "run_episode",
+    "CampaignPlan",
+    "InProcessBackend",
+    "SSHBackend",
+    "SchedulerError",
+    "ShardJob",
+    "SubprocessFleetBackend",
+    "UnknownBackendError",
+    "WorkerBackend",
+    "dispatch_campaign",
+    "make_backend",
+    "register_backend",
+    "registered_backends",
 ]

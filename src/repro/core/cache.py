@@ -1,4 +1,4 @@
-"""Digest-keyed campaign result cache.
+"""Digest-keyed campaign result cache with pluggable storage backends.
 
 Large campaigns (the paper's 360-episode grids, the Table VII/VIII sweeps)
 are pure functions of their inputs: episode seeds are fully determined by
@@ -11,30 +11,53 @@ with sorted keys and hash it with SHA-256.  The digest is stable across
 processes, machines and Python versions (``hash()`` is salted per process
 and unusable here, exactly as in :func:`repro.utils.rng.derive_seed`).
 
-:class:`CampaignCache` maps digests to completed campaign JSONL files in a
-directory.  Entries are written atomically (temp file + ``os.replace``), so
-a reader never observes a partial entry; a corrupt or truncated entry is
-treated as a miss and discarded.  ``run_campaign`` and the report pipeline
-consult the cache before executing anything, so a repeated campaign — same
-grid, same interventions, same weights — executes zero episodes.
+Storage is a :class:`CacheBackend`: a ``get``/``put`` mapping from digests
+to completed campaign result lists.  Three backends ship:
+
+* :class:`DirectoryCacheBackend` — one ``<digest>.jsonl`` file per entry
+  in a directory, byte-compatible with the historical on-disk layout (the
+  exchange format of the distributed scheduler: remote workers and the
+  report pipeline share entries through one directory).
+  :class:`CampaignCache` is the backwards-compatible name.
+* :class:`MemoryCacheBackend` — an in-process LRU, for hot repeated
+  lookups (the report DAG probes the same arms many times).
+* :class:`TieredCache` — read-through composition (memory over directory
+  is the common pairing); a future HTTP/S3 backend slots in behind the
+  same interface without touching any consumer.
+
+Entries are written atomically (temp file + ``os.replace``), so a reader
+never observes a partial entry; a corrupt or truncated entry is treated as
+a miss and discarded.  ``run_campaign`` and the report pipeline consult
+the cache before executing anything, so a repeated campaign — same grid,
+same interventions, same weights — executes zero episodes.
 
 The cache directory defaults to the ``REPRO_CACHE_DIR`` environment
-variable (see :func:`default_cache`); when unset, caching is off.
+variable (see :func:`default_cache`); when unset, caching is off, and a
+value that does not name a usable directory fails fast with an error
+naming the variable.  ``repro cache list|verify|gc`` (backed by
+:func:`cache_entries` / :func:`verify_cache` / :func:`gc_cache`) inspect
+and maintain a directory cache from the command line.
 """
 
 from __future__ import annotations
 
+import abc
 import hashlib
 import json
 import os
 import tempfile
+import time
 import types
 import warnings
-from typing import Dict, List, Optional, Sequence, Union
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.attacks.campaign import CampaignSpec, EpisodeSpec, as_episode_list
+from repro.attacks.fi import FaultType
 from repro.core.metrics import EpisodeResult, PathLike, load_results, save_results
 from repro.safety.arbitration import InterventionConfig
+from repro.sim.weather import FrictionCondition
 
 #: Bump when the canonical forms below change shape, so stale cache entries
 #: keyed under an old scheme can never be returned for a new-scheme query.
@@ -51,6 +74,9 @@ def canonical_episode(spec: EpisodeSpec) -> Dict[str, object]:
     of parameter-free families (the paper's S1-S6 grid) canonicalise
     exactly as they did before the family registry existed, so historical
     cache entries stay valid (the golden-digest test pins this).
+
+    The form is round-trippable (:func:`episode_from_canonical`), which is
+    what the distributed scheduler's worker spec files are built on.
     """
     form: Dict[str, object] = {
         "scenario_id": spec.scenario_id,
@@ -67,12 +93,48 @@ def canonical_episode(spec: EpisodeSpec) -> Dict[str, object]:
     return form
 
 
+def episode_from_canonical(form: Dict[str, object]) -> EpisodeSpec:
+    """Rebuild an :class:`EpisodeSpec` from :func:`canonical_episode` output.
+
+    The inverse the scheduler's shard-spec files rely on: a worker process
+    reconstructs its episode slice from the JSON document and re-derives
+    the digest, so scheduler and worker provably agree on campaign
+    identity.  ``params`` order is preserved (JSON objects keep insertion
+    order), which matters — parameter order is part of the identity.
+
+    Raises:
+        ValueError: a missing key or an unknown enum value.
+    """
+    try:
+        friction = form["friction"]
+        return EpisodeSpec(
+            scenario_id=str(form["scenario_id"]),
+            # Numeric values pass through exactly as serialised: coercing
+            # (e.g. float(60) for a spec built with an int gap) would make
+            # the reconstructed episode canonicalise differently from the
+            # original, so scheduler and worker digests would disagree.
+            initial_gap=form["initial_gap"],  # type: ignore[arg-type]
+            fault_type=FaultType(form["fault_type"]),
+            repetition=int(form["repetition"]),  # type: ignore[arg-type]
+            seed=int(form["seed"]),  # type: ignore[arg-type]
+            friction=None
+            if friction is None
+            else FrictionCondition(
+                name=str(friction["name"]), mu=friction["mu"]
+            ),
+            params=tuple((form.get("params") or {}).items()),
+        )
+    except KeyError as exc:
+        raise ValueError(f"episode document is missing key {exc}") from None
+
+
 def canonical_interventions(config: InterventionConfig) -> Dict[str, object]:
     """JSON-safe canonical form of an :class:`InterventionConfig`.
 
     Every field participates — including ``name``, which becomes the
     intervention label stored in each result record, so two configs that
     simulate identically but label differently must not share a cache entry.
+    Round-trippable via :func:`interventions_from_canonical`.
     """
     return {
         "driver": config.driver,
@@ -83,6 +145,28 @@ def canonical_interventions(config: InterventionConfig) -> Dict[str, object]:
         "aeb_overrides_driver": config.aeb_overrides_driver,
         "name": config.name,
     }
+
+
+def interventions_from_canonical(form: Dict[str, object]) -> InterventionConfig:
+    """Rebuild an :class:`InterventionConfig` from its canonical form.
+
+    Raises:
+        ValueError: a missing key or an unknown AEBS configuration value.
+    """
+    from repro.safety.aebs import AebsConfig
+
+    try:
+        return InterventionConfig(
+            driver=bool(form["driver"]),
+            safety_check=bool(form["safety_check"]),
+            aeb=AebsConfig(form["aeb"]),
+            ml=bool(form["ml"]),
+            driver_reaction_time=form["driver_reaction_time"],  # type: ignore[arg-type]
+            aeb_overrides_driver=bool(form["aeb_overrides_driver"]),
+            name=str(form["name"]),
+        )
+    except KeyError as exc:
+        raise ValueError(f"interventions document is missing key {exc}") from None
 
 
 def factory_token(ml_factory: Optional[object]) -> Optional[str]:
@@ -148,12 +232,84 @@ def campaign_digest(
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-class CampaignCache:
+# --------------------------------------------------------------------- #
+# Storage backends
+# --------------------------------------------------------------------- #
+
+
+class CacheBackend(abc.ABC):
+    """A digest-keyed store of completed campaign result lists.
+
+    The contract every backend honours (and consumers rely on):
+
+    * keys are lowercase hex content digests (:func:`campaign_digest`);
+    * :meth:`get` returns the complete result list or None — never a
+      partial campaign (a backend that cannot prove completeness must
+      report a miss);
+    * :meth:`put` is atomic from a reader's point of view: a concurrent
+      :meth:`get` sees the old entry, no entry, or the new entry — never
+      a torn one;
+    * recomputing on a miss is always safe, so backends may drop entries
+      at any time (eviction, corruption, garbage collection).
+    """
+
+    @staticmethod
+    def check_key(key: str) -> str:
+        """Validate the digest-key form shared by every backend."""
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys are lowercase hex digests, got {key!r}")
+        return key
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Optional[List[EpisodeResult]]:
+        """Return the cached results for ``key``, or None on a miss."""
+
+    @abc.abstractmethod
+    def put(self, key: str, results: Sequence[EpisodeResult]) -> str:
+        """Store ``results`` under ``key``; returns a backend-specific
+        location string (e.g. the entry path) for logging."""
+
+    @abc.abstractmethod
+    def keys(self) -> List[str]:
+        """Digests of every entry currently in the backend, sorted."""
+
+    def entry_count(self, key: str) -> Optional[int]:
+        """Record count of the entry for ``key``, or None when absent.
+
+        Backends override this when they can answer cheaper than a full
+        :meth:`get` (the directory backend counts lines without parsing).
+        """
+        hit = self.get(key)
+        return None if hit is None else len(hit)
+
+    @property
+    def directory(self) -> Optional[str]:
+        """The filesystem directory remote workers can share, or None.
+
+        The distributed scheduler hands this to worker processes so their
+        shard results land in the same store; purely in-memory backends
+        return None and workers simply run uncached.
+        """
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.entry_count(key) is not None
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(entries={len(self)})"
+
+
+class DirectoryCacheBackend(CacheBackend):
     """A directory of completed campaigns keyed by content digest.
 
     Entries are plain campaign JSONL files (``<digest>.jsonl``), so every
     existing tool — ``CampaignResult.load``, ``repro merge``, manual
-    inspection — works on cache entries directly.
+    inspection — works on cache entries directly.  The layout is
+    byte-compatible with the pre-backend-split ``CampaignCache``, so
+    historical cache directories keep working unchanged.
 
     Args:
         root: cache directory; created if missing (unless ``create=False``).
@@ -169,9 +325,7 @@ class CampaignCache:
 
     def path(self, key: str) -> str:
         """Filesystem path of the entry for ``key`` (whether or not present)."""
-        if not key or any(c not in "0123456789abcdef" for c in key):
-            raise ValueError(f"cache keys are lowercase hex digests, got {key!r}")
-        return os.path.join(self.root, f"{key}.jsonl")
+        return os.path.join(self.root, f"{self.check_key(key)}.jsonl")
 
     def get(self, key: str) -> Optional[List[EpisodeResult]]:
         """Return the cached results for ``key``, or None on a miss.
@@ -234,22 +388,137 @@ class CampaignCache:
         except (FileNotFoundError, NotADirectoryError):
             return None
 
+    @property
+    def directory(self) -> Optional[str]:
+        return self.root
+
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self.path(key))
 
     def keys(self) -> List[str]:
         """Digests of every entry currently in the cache."""
+        try:
+            names = os.listdir(self.root)
+        except (FileNotFoundError, NotADirectoryError):
+            return []
         return sorted(
             name[: -len(".jsonl")]
-            for name in os.listdir(self.root)
+            for name in names
             if name.endswith(".jsonl") and not name.startswith(".")
         )
 
-    def __len__(self) -> int:
-        return len(self.keys())
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(root={self.root!r}, entries={len(self)})"
+
+
+class CampaignCache(DirectoryCacheBackend):
+    """The directory cache under its historical name.
+
+    Every pre-split call site (and the on-disk layout) keeps working;
+    new code that only needs the interface should accept any
+    :class:`CacheBackend`.
+    """
+
+
+class MemoryCacheBackend(CacheBackend):
+    """An in-process LRU cache of campaign results.
+
+    The cheap tier of a :class:`TieredCache`: the report DAG resolves the
+    same arms repeatedly (status probe, render, manifest check), and a
+    warm in-memory hit skips re-parsing a multi-thousand-line JSONL file
+    each time.  Entries are stored as immutable tuples and handed out as
+    fresh lists, so a caller mutating its result list can never corrupt
+    the cached copy.
+
+    Args:
+        max_entries: LRU capacity (>= 1); the least recently *used* entry
+            is evicted first.
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Tuple[EpisodeResult, ...]]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[List[EpisodeResult]]:
+        self.check_key(key)
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return list(entry)
+
+    def put(self, key: str, results: Sequence[EpisodeResult]) -> str:
+        self.check_key(key)
+        self._entries[key] = tuple(results)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return f"memory:{key}"
+
+    def entry_count(self, key: str) -> Optional[int]:
+        self.check_key(key)
+        entry = self._entries.get(key)
+        return None if entry is None else len(entry)
+
+    def keys(self) -> List[str]:
+        return sorted(self._entries)
+
+
+class TieredCache(CacheBackend):
+    """Read-through composition of cache backends, fastest first.
+
+    ``get`` consults tiers in order and *promotes* a hit into every
+    faster tier, so repeated lookups are served by the cheapest backend
+    that has seen the entry; ``put`` writes through every tier.  The
+    canonical pairing is ``TieredCache(MemoryCacheBackend(),
+    DirectoryCacheBackend(root))``; a remote (HTTP/S3) backend appended
+    as the slowest tier turns this into a shared cache with a local
+    overlay, with no consumer changes.
+    """
+
+    def __init__(self, *tiers: CacheBackend) -> None:
+        if not tiers:
+            raise ValueError("TieredCache requires at least one backend tier")
+        self.tiers: Tuple[CacheBackend, ...] = tuple(tiers)
+
+    def get(self, key: str) -> Optional[List[EpisodeResult]]:
+        for index, tier in enumerate(self.tiers):
+            hit = tier.get(key)
+            if hit is not None:
+                for faster in self.tiers[:index]:
+                    faster.put(key, hit)
+                return hit
+        return None
+
+    def put(self, key: str, results: Sequence[EpisodeResult]) -> str:
+        locations = [tier.put(key, results) for tier in self.tiers]
+        return locations[-1]
+
+    def entry_count(self, key: str) -> Optional[int]:
+        for tier in self.tiers:
+            count = tier.entry_count(key)
+            if count is not None:
+                return count
+        return None
+
+    def keys(self) -> List[str]:
+        merged = set()
+        for tier in self.tiers:
+            merged.update(tier.keys())
+        return sorted(merged)
+
+    @property
+    def directory(self) -> Optional[str]:
+        for tier in self.tiers:
+            if tier.directory is not None:
+                return tier.directory
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"CampaignCache(root={self.root!r}, entries={len(self)})"
+        inner = ", ".join(repr(tier) for tier in self.tiers)
+        return f"TieredCache({inner})"
 
 
 def default_cache(create: bool = True) -> Optional[CampaignCache]:
@@ -258,11 +527,159 @@ def default_cache(create: bool = True) -> Optional[CampaignCache]:
     An empty value disables caching, matching the unset behaviour.
     ``create`` is forwarded to :class:`CampaignCache` (read-only consumers
     pass False so a status query never materialises the directory).
+
+    Raises:
+        ValueError: ``REPRO_CACHE_DIR`` names something that cannot be
+            used as a cache directory (e.g. an existing file).  The
+            message names the variable — a misconfigured environment must
+            fail fast, not as a traceback deep inside a campaign run.
     """
     root = os.environ.get("REPRO_CACHE_DIR")
     if not root:
         return None
-    return CampaignCache(root, create=create)
+    try:
+        if os.path.exists(root) and not os.path.isdir(root):
+            raise NotADirectoryError(f"{root!r} exists and is not a directory")
+        return CampaignCache(root, create=create)
+    except OSError as exc:
+        raise ValueError(
+            f"REPRO_CACHE_DIR must name a usable cache directory, got "
+            f"{root!r} ({exc})"
+        ) from None
+
+
+# --------------------------------------------------------------------- #
+# Cache maintenance (``repro cache list | verify | gc``)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CacheEntryInfo:
+    """One directory-cache entry as reported by ``repro cache list``.
+
+    Attributes:
+        key: the full content digest.
+        path: the entry's JSONL file.
+        episodes: record count (cheap line count, like ``entry_count``).
+        size_bytes: file size on disk.
+        age_seconds: seconds since the entry was last written.
+    """
+
+    key: str
+    path: str
+    episodes: int
+    size_bytes: int
+    age_seconds: float
+
+
+def cache_entries(
+    cache: DirectoryCacheBackend, now: Optional[float] = None
+) -> List[CacheEntryInfo]:
+    """Inventory of every entry in a directory cache, sorted by key.
+
+    Read-only: entries that vanish mid-scan (a concurrent ``gc``) are
+    skipped rather than raised.
+    """
+    if now is None:
+        now = time.time()
+    entries: List[CacheEntryInfo] = []
+    for key in cache.keys():
+        path = cache.path(key)
+        try:
+            stat = os.stat(path)
+            count = cache.entry_count(key) or 0
+        except OSError:
+            continue
+        entries.append(
+            CacheEntryInfo(
+                key=key,
+                path=path,
+                episodes=count,
+                size_bytes=stat.st_size,
+                age_seconds=max(0.0, now - stat.st_mtime),
+            )
+        )
+    return entries
+
+
+def verify_cache(cache: DirectoryCacheBackend) -> Dict[str, Optional[str]]:
+    """Strict-load every entry; map each key to None (ok) or its error.
+
+    Unlike :meth:`DirectoryCacheBackend.get`, verification is **read
+    only** — a corrupt entry is reported, never deleted (that is ``gc``'s
+    job, and the operator may want to inspect the bytes first).  An entry
+    fails when it does not strict-load, or when its records carry mixed
+    intervention labels (two campaigns concatenated into one entry).
+    """
+    report: Dict[str, Optional[str]] = {}
+    for key in cache.keys():
+        path = cache.path(key)
+        try:
+            results = load_results(path, strict=True)
+        except (ValueError, OSError) as exc:
+            report[key] = str(exc)
+            continue
+        labels = {r.intervention for r in results}
+        if len(labels) > 1:
+            report[key] = (
+                f"mixed intervention labels {sorted(labels)} in one entry"
+            )
+        else:
+            report[key] = None
+    return report
+
+
+def gc_cache(
+    cache: DirectoryCacheBackend,
+    keep_days: float,
+    now: Optional[float] = None,
+) -> Tuple[List[str], int]:
+    """Delete entries older than ``keep_days`` days; the only writing
+    maintenance operation.
+
+    Also sweeps orphaned ``.<digest>-*.tmp`` files older than the cutoff —
+    the leftovers of writers killed between ``mkstemp`` and ``os.replace``.
+
+    Returns:
+        ``(removed keys, reclaimed bytes)``; temp-file sweeps count toward
+        the byte total but not the key list.
+    """
+    if keep_days < 0:
+        raise ValueError(f"keep_days must be >= 0, got {keep_days}")
+    if now is None:
+        now = time.time()
+    cutoff = now - keep_days * 86400.0
+    removed: List[str] = []
+    reclaimed = 0
+    for key in cache.keys():
+        path = cache.path(key)
+        try:
+            stat = os.stat(path)
+        except OSError:
+            continue
+        if stat.st_mtime < cutoff:
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            removed.append(key)
+            reclaimed += stat.st_size
+    try:
+        names = os.listdir(cache.root)
+    except (FileNotFoundError, NotADirectoryError):
+        names = []
+    for name in names:
+        if not (name.startswith(".") and name.endswith(".tmp")):
+            continue
+        path = os.path.join(cache.root, name)
+        try:
+            stat = os.stat(path)
+            if stat.st_mtime < cutoff:
+                os.remove(path)
+                reclaimed += stat.st_size
+        except OSError:
+            continue
+    return removed, reclaimed
 
 
 def resume_entry_path(directory: PathLike, digest: str) -> str:

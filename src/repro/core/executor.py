@@ -253,6 +253,18 @@ class ParallelExecutor(CampaignExecutor):
         return results
 
 
+def available_cores() -> int:
+    """CPUs actually usable by this process (affinity/cgroup aware).
+
+    The sizing input for worker fleets and parallel benchmarks:
+    ``os.cpu_count()`` reports the machine, not what a container or
+    ``taskset`` actually grants this process.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
 def default_jobs() -> int:
     """Worker-count default: the ``REPRO_JOBS`` environment variable, or 1.
 

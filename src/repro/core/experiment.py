@@ -46,24 +46,22 @@ persistence layer on top of that format makes campaigns distributable:
   :class:`~repro.attacks.campaign.ShardSpec`) runs anywhere as an ordinary
   episode-list campaign; :func:`merge_shards` validates and reassembles the
   shard files into the unsharded campaign.
+
+``run_campaign`` itself is a thin façade over the distributed scheduler
+(:mod:`repro.core.scheduler`): it builds a single-shard
+:class:`~repro.core.scheduler.CampaignPlan` and executes it in-process,
+so the one implementation of cache-consult / resume / streaming behaviour
+is shared with every multi-worker backend (``repro dispatch``).
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.attacks.campaign import CampaignSpec, EpisodeSpec, as_episode_list
-from repro.core.cache import (
-    CampaignCache,
-    campaign_digest,
-    default_cache,
-    factory_token,
-    read_digest_sidecar,
-    write_digest_sidecar,
-)
-from repro.core.executor import CampaignExecutor, EpisodeTask, make_executor
+from repro.attacks.campaign import CampaignSpec, EpisodeSpec
+from repro.core.cache import CacheBackend
+from repro.core.executor import CampaignExecutor
 from repro.core.metrics import (
     AggregateStats,
     EpisodeResult,
@@ -204,7 +202,7 @@ def run_campaign(
     jobs: Optional[int] = None,
     executor: Optional[CampaignExecutor] = None,
     resume_path: Optional[PathLike] = None,
-    cache: Union[CampaignCache, None, bool] = None,
+    cache: Union[CacheBackend, None, bool] = None,
     **platform_kwargs,
 ) -> CampaignResult:
     """Run every episode of ``campaign`` under ``interventions``.
@@ -242,10 +240,12 @@ def run_campaign(
             point, so mismatched families/points are still caught).
             Missing files simply mean a fresh run whose results land at
             this path.
-        cache: a :class:`~repro.core.cache.CampaignCache` to consult/populate,
-            ``None``/``True`` to use the ``REPRO_CACHE_DIR`` environment
-            default, or ``False`` to disable caching outright.  A cache hit
-            returns the stored results without executing a single episode.
+        cache: a :class:`~repro.core.cache.CacheBackend` (e.g. a
+            :class:`~repro.core.cache.CampaignCache` directory) to
+            consult/populate, ``None``/``True`` to use the
+            ``REPRO_CACHE_DIR`` environment default, or ``False`` to
+            disable caching outright.  A cache hit returns the stored
+            results without executing a single episode.
         **platform_kwargs: forwarded to :class:`SimulationPlatform`.
 
     Returns:
@@ -253,123 +253,24 @@ def run_campaign(
         campaign's enumeration order regardless of backend, sharding,
         resumption or caching.
     """
-    episodes = as_episode_list(campaign)
-    if interventions.ml and ml_factory is None:
-        raise ValueError("interventions.ml=True requires ml_factory")
-    label = interventions.label()
-    total = len(episodes)
-    ml_token = factory_token(ml_factory) if interventions.ml else None
+    # A façade over the scheduler's single-shard plan: the cache-consult /
+    # resume / stream-to-disk behaviour lives in execute_shard, shared with
+    # every distributed backend.  Imported lazily — experiment is the
+    # module the scheduler builds on, not the other way round.
+    from repro.core.scheduler import CampaignPlan, execute_shard
 
-    if cache is None or cache is True:
-        cache = default_cache()
-    elif cache is False:
-        cache = None
-    if cache is not None and interventions.ml and ml_token is None:
-        # An unfingerprintable factory (lambda/closure/stateful instance
-        # without a digest_token) cannot key a cache entry safely; run
-        # uncached rather than risk serving another factory's results.
-        cache = None
-    key: Optional[str] = None
-    if cache is not None:
-        key = campaign_digest(
-            episodes, interventions, ml_token=ml_token, **platform_kwargs
-        )
-
-    # ---- resume: load and validate the prefix *before* anything can
-    # overwrite the file (a cache hit included) -------------------------
-    resume_digest: Optional[str] = None
-    prior: List[EpisodeResult] = []
-    if resume_path is not None:
-        resume_digest = (
-            key
-            if key is not None
-            else campaign_digest(
-                episodes, interventions, ml_token=ml_token, **platform_kwargs
-            )
-        )
-        if os.path.exists(resume_path):
-            recorded = read_digest_sidecar(resume_path)
-            if recorded is not None and recorded != resume_digest:
-                raise ValueError(
-                    f"{resume_path}: recorded campaign digest {recorded[:16]}… "
-                    f"does not match this invocation's {resume_digest[:16]}…; "
-                    "the file was written under different inputs (platform "
-                    "overrides, interventions or grid) — refusing to resume"
-                )
-            prior = load_results(resume_path)
-            _validate_resume_prefix(prior, episodes, label, resume_path)
-
-    # ---- cache consultation --------------------------------------------
-    if key is not None:
-        hit = cache.get(key)
-        if (
-            hit is not None
-            and len(hit) == total
-            and all(r.intervention == label for r in hit)
-        ):
-            if progress is not None:
-                progress(total, total)
-            if resume_path is not None:
-                hit_tmp = f"{os.fspath(resume_path)}.tmp"
-                save_results(hit, hit_tmp)
-                os.replace(hit_tmp, resume_path)
-                write_digest_sidecar(resume_path, resume_digest)
-            return CampaignResult(intervention=label, results=hit)
-
-    # ---- execute the remainder ------------------------------------------
-    remaining = episodes[len(prior) :]
-    tasks = [
-        EpisodeTask.make(
-            spec,
-            interventions,
-            ml_factory=ml_factory if interventions.ml else None,
-            **platform_kwargs,
-        )
-        for spec in remaining
-    ]
-    skipped = len(prior)
-    if progress is not None and skipped:
-        progress(skipped, total)
-    backend = executor if executor is not None else make_executor(jobs)
-
-    new: List[EpisodeResult] = []
-    if resume_path is None:
-        offset_progress = (
-            None
-            if progress is None
-            else (lambda done, _remaining_total: progress(skipped + done, total))
-        )
-        new = backend.run(tasks, progress=offset_progress)
-    else:
-        # Rewrite the validated prefix once (dropping any truncated tail),
-        # then stream completed episodes to the file batch by batch: an
-        # interrupted run leaves a valid, resumable prefix behind instead
-        # of nothing.  The rewrite goes through a temp file + atomic rename
-        # so a crash mid-rewrite cannot destroy the episodes already earned;
-        # a crash mid-append only dangles a final line, which the next
-        # resume's prefix load already tolerates.  Batches are a few
-        # dispatch rounds wide so streaming costs little parallel efficiency.
-        rewrite_tmp = f"{os.fspath(resume_path)}.tmp"
-        save_results(prior, rewrite_tmp)
-        os.replace(rewrite_tmp, resume_path)
-        write_digest_sidecar(resume_path, resume_digest)
-        batch_size = max(8, 4 * getattr(backend, "jobs", 1))
-        for start in range(0, len(tasks), batch_size):
-            batch = tasks[start : start + batch_size]
-            done_before = skipped + len(new)
-            batch_progress = (
-                None
-                if progress is None
-                else (lambda done, _t, _base=done_before: progress(_base + done, total))
-            )
-            batch_results = backend.run(batch, progress=batch_progress)
-            new.extend(batch_results)
-            save_results(batch_results, resume_path, append=True)
-
-    results = prior + new
-    if cache is not None and key is not None:
-        cache.put(key, results)
-    return CampaignResult(intervention=label, results=results)
+    plan = CampaignPlan.build(
+        campaign, interventions, shards=1, ml_factory=ml_factory, **platform_kwargs
+    )
+    (job,) = plan.jobs
+    return execute_shard(
+        job,
+        jobs=jobs,
+        executor=executor,
+        progress=progress,
+        resume_path=resume_path,
+        cache=cache,
+    )
 
 
 def merge_shards(

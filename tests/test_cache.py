@@ -516,16 +516,16 @@ class TestReportPipelineCache:
             )
 
         # Every campaign arm must be served from cache: building an executor
-        # (which only happens after a cache miss) or training the ML
-        # baseline fails the test.  Fig. 5/6 traces run the platform
-        # directly and are unaffected.
-        import repro.core.experiment as experiment
+        # (which only happens after a cache miss, in the scheduler's shard
+        # primitive) or training the ML baseline fails the test.  Fig. 5/6
+        # traces run the platform directly and are unaffected.
+        import repro.core.scheduler as scheduler
         import repro.ml as ml
 
         def boom(*args, **kwargs):
             raise AssertionError("cache miss: campaign execution attempted")
 
-        monkeypatch.setattr(experiment, "make_executor", boom)
+        monkeypatch.setattr(scheduler, "make_executor", boom)
         monkeypatch.setattr(ml, "load_or_train_cached", boom)
 
         text = generate_report(config)
