@@ -1,0 +1,44 @@
+"""Lint-engine throughput: files/second over the shipped tree.
+
+Not a paper table — the engineering bench that keeps the ``repro lint``
+CI gate honest.  The gate runs on every push, so the engine must stay
+fast enough that nobody is tempted to skip it: the bench scans the
+whole ``src/repro`` tree (every rule, pragmas, parent-link maps) and
+reports files/s and findings, failing loudly if the shipped tree ever
+stops being clean (the self-check the CI job relies on).
+"""
+
+import os
+import sys
+import time
+
+from _bench_utils import run_once
+
+from repro.lint import lint_paths, select_rules
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
+
+
+def test_lint_throughput(benchmark):
+    rules = select_rules()
+    report = run_once(benchmark, lambda: lint_paths([SRC], rules=rules))
+    assert report.clean, "shipped tree must lint clean"
+
+    # Re-time outside pytest-benchmark for the human-readable rate.
+    start = time.perf_counter()
+    again = lint_paths([SRC], rules=rules)
+    elapsed = time.perf_counter() - start
+    files = len(again.files)
+    rate = files / elapsed if elapsed > 0 else float("inf")
+    sys.stderr.write(
+        f"\n[bench_lint] {files} files, {len(rules)} rules in "
+        f"{elapsed:.3f}s -> {rate:.0f} files/s\n"
+    )
+
+
+def test_lint_single_rule_overhead(benchmark):
+    # The fixed per-file cost (read, parse, parent links) with the
+    # cheapest selection: the floor any added rule builds on.
+    rules = select_rules(enable=["unseeded-rng"])
+    report = run_once(benchmark, lambda: lint_paths([SRC], rules=rules))
+    assert report.clean

@@ -143,8 +143,8 @@ def table6_row(results: Sequence[EpisodeResult], intervention: str) -> Table6Row
     if not results:
         raise ValueError("cannot build a Table VI row from no results")
     stats = aggregate(results)
-    fault_types = {r.fault_type for r in results}
-    fault = fault_types.pop() if len(fault_types) == 1 else "mixed-set"
+    fault_types = sorted({r.fault_type for r in results})
+    fault = fault_types[0] if len(fault_types) == 1 else "mixed-set"
     return Table6Row(
         fault_type=fault,
         intervention=intervention,

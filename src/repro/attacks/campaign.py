@@ -141,7 +141,9 @@ class EpisodeSpec:
         mu = "" if self.friction is None else f"/mu={self.friction.mu}"
         point = f"/{param_token(self.params)}" if self.params else ""
         return (
-            f"{self.scenario_id}/gap={self.initial_gap:.0f}{point}"
+            # ``:.0f`` is shipped historical label identity — changing the
+            # bytes would orphan every cache entry and golden digest.
+            f"{self.scenario_id}/gap={self.initial_gap:.0f}{point}"  # repro-lint: disable=canonical-float-format
             f"/{self.fault_type.value}/rep={self.repetition}{mu}"
         )
 
@@ -303,14 +305,17 @@ def enumerate_campaign(
             for sid in spec.scenario_ids:
                 for point in points[sid]:
                     for rep in range(spec.repetitions):
+                        # ``:.0f`` is shipped historical seed identity —
+                        # changing the bytes would re-seed every episode
+                        # and orphan all caches and golden digests.
                         if point:
                             seed = derive_seed(
-                                spec.seed, sid, f"{gap:.0f}",
+                                spec.seed, sid, f"{gap:.0f}",  # repro-lint: disable=canonical-float-format
                                 param_token(point), fault.value, rep,
                             )
                         else:
                             seed = derive_seed(
-                                spec.seed, sid, f"{gap:.0f}", fault.value, rep
+                                spec.seed, sid, f"{gap:.0f}", fault.value, rep  # repro-lint: disable=canonical-float-format
                             )
                         episodes.append(
                             EpisodeSpec(

@@ -26,6 +26,10 @@ Commands:
   missing, with episode counts) without executing anything; ``--json``
   emits the machine-readable form.
 * ``train-ml``  — train (and cache) the LSTM baseline.
+* ``lint``      — determinism/digest-safety static analysis over Python
+  sources (``repro lint [PATH ...] [--json] [--baseline FILE]
+  [--write-baseline] [--rule R] [--disable R] [--list]``; see
+  :mod:`repro.lint`).  Exit 0 clean, 1 findings, 2 usage errors.
 
 Incremental reports
 -------------------
@@ -391,6 +395,84 @@ def _human_age(seconds: float) -> str:
 _SHARD_NAME_RE = re.compile(r"shard-(\d+)-of-(\d+)")
 
 
+def _nonneg_days(text: str) -> float:
+    """``--keep-days`` parser: a finite number of days >= 0.
+
+    Rejecting negatives at parse time (exit 2, message naming the flag)
+    beats the deep :func:`repro.core.cache.gc_cache` ValueError — the
+    operator sees which *flag* is wrong before any cache is opened.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--keep-days expects a number of days, got {text!r}"
+        ) from None
+    if not math.isfinite(value) or value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--keep-days must be a finite number >= 0, got {text} "
+            "(0 deletes everything; there is no negative age)"
+        )
+    return value
+
+
+def _run_lint(args) -> int:
+    """``repro lint``: scan, apply the baseline, report, set the exit code."""
+    from repro.lint import (
+        apply_baseline,
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        select_rules,
+        write_baseline,
+    )
+    from repro.lint.rules import rule_catalog
+
+    if args.list:
+        if args.json:
+            print(json.dumps({"rules": rule_catalog()}, indent=2))
+        else:
+            for entry in rule_catalog():
+                role = f" [{entry['role']}]" if entry["role"] else ""
+                print(
+                    f"{entry['id']:<26} {entry['severity']}{role}  "
+                    f"{entry['title']}"
+                )
+        return 0
+
+    paths = args.paths or (
+        ["src/repro"] if os.path.isdir("src/repro") else ["."]
+    )
+    rules = select_rules(enable=args.rule, disable=args.disable)
+    report = lint_paths(paths, rules=rules)
+    findings = list(report.findings)
+
+    if args.write_baseline:
+        target = args.baseline or "lint-baseline.json"
+        write_baseline(target, findings)
+        print(
+            f"wrote baseline with {len(findings)} "
+            f"finding{'s' if len(findings) != 1 else ''} -> {target}"
+        )
+        return 0
+
+    grandfathered: List = []
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        findings, grandfathered = apply_baseline(findings, baseline)
+
+    if args.json:
+        print(
+            render_json(
+                findings, report.files, grandfathered, rules=report.rules
+            )
+        )
+    else:
+        print(render_text(findings, report.files, grandfathered))
+    return 1 if findings else 0
+
+
 def _check_shard_name_order(paths) -> Optional[str]:
     """Catch default-named shard files passed out of order, incompletely,
     or from different shard counts before merging concatenates them wrongly.
@@ -404,13 +486,13 @@ def _check_shard_name_order(paths) -> Optional[str]:
     if not all(parsed):
         return None
     indices = [int(m.group(1)) for m in parsed]
-    counts = {int(m.group(2)) for m in parsed}
+    counts = sorted({int(m.group(2)) for m in parsed})
     if len(counts) > 1:
         return (
-            f"shard files come from different shard counts {sorted(counts)}; "
+            f"shard files come from different shard counts {counts}; "
             "merge shards of one campaign split one way"
         )
-    count = counts.pop()
+    count = counts[0]
     if indices != sorted(indices):
         return (
             f"shard files passed in order {indices}; pass them in shard-index "
@@ -711,11 +793,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ca.add_argument(
         "--keep-days",
-        type=float,
+        type=_nonneg_days,
         default=None,
         metavar="N",
         help="gc only: delete entries last written more than N days ago "
-        "(0 deletes everything)",
+        "(0 deletes everything; N must be >= 0)",
     )
 
     mg = sub.add_parser(
@@ -778,6 +860,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     ml = sub.add_parser("train-ml", help="train and cache the LSTM baseline")
     ml.add_argument("--epochs", type=int, default=4)
+
+    li = sub.add_parser(
+        "lint",
+        help="determinism/digest-safety static analysis (see repro.lint)",
+    )
+    li.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files/directories to scan "
+        "(default: src/repro when present, else .)",
+    )
+    li.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    li.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="grandfather the findings recorded in FILE; only new "
+        "findings fail the run",
+    )
+    li.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings into the baseline file "
+        "(the --baseline path, default lint-baseline.json) and exit 0",
+    )
+    li.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only this rule (repeatable; see --list)",
+    )
+    li.add_argument(
+        "--disable",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="skip this rule (repeatable)",
+    )
+    li.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
     return parser
 
 
@@ -811,6 +940,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _run(args) -> int:
+    if args.command == "lint":
+        return _run_lint(args)
+
     if args.command == "episode":
         try:
             family = get_family(args.scenario)

@@ -1,0 +1,77 @@
+"""Determinism and digest-safety static analysis (``repro lint``).
+
+Every subsystem above the simulator rests on one invariant: canonical
+forms and campaign digests are bit-identical across serial, parallel and
+distributed execution.  The golden-digest suites enforce that *after the
+fact*; this package enforces it at review time by scanning source files
+for the fault classes that silently corrupt reproduction fidelity:
+
+* unseeded global RNG (:mod:`repro.lint.checks.rng`),
+* wall-clock reads in digest/canonical modules
+  (:mod:`repro.lint.checks.wallclock`),
+* unsorted filesystem iteration (:mod:`repro.lint.checks.fs_order`),
+* set-ordering leaks into iteration or serialized output
+  (:mod:`repro.lint.checks.set_order`),
+* unpicklable payloads handed to executor/scheduler submission APIs
+  (:mod:`repro.lint.checks.pickle_safety`),
+* precision-losing float formatting in canonical modules
+  (:mod:`repro.lint.checks.float_format`),
+* bare/swallowed exceptions in worker and collect paths
+  (:mod:`repro.lint.checks.exceptions`).
+
+Rules live in a registry (:mod:`repro.lint.rules`) mirroring the
+scenario-family and worker-backend registries: ``register_rule`` /
+``get_rule`` / ``registered_rules``, with :class:`UnknownRuleError`
+naming what *is* registered.  The engine (:mod:`repro.lint.engine`)
+walks files deterministically, honours ``# repro-lint:`` suppression
+pragmas, and the baseline layer (:mod:`repro.lint.baseline`) grandfathers
+pre-existing findings so the CI gate only fails on *new* hazards.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import (
+    apply_baseline,
+    finding_fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import (
+    LintReport,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    select_rules,
+)
+from repro.lint.findings import SEVERITIES, Finding
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import (
+    FileContext,
+    LintRule,
+    UnknownRuleError,
+    get_rule,
+    register_rule,
+    registered_rules,
+)
+
+__all__ = [
+    "Finding",
+    "SEVERITIES",
+    "FileContext",
+    "LintRule",
+    "UnknownRuleError",
+    "get_rule",
+    "register_rule",
+    "registered_rules",
+    "LintReport",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "select_rules",
+    "apply_baseline",
+    "finding_fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,16 @@
+"""The built-in rule set: importing this package registers every rule.
+
+One module per rule family, mirroring how :mod:`repro.sim.scenarios` and
+:mod:`repro.sim.workloads` register scenario families on import.  Import
+order is the registration order shown by ``repro lint --list``.
+"""
+
+from __future__ import annotations
+
+import repro.lint.checks.rng  # noqa: F401
+import repro.lint.checks.wallclock  # noqa: F401
+import repro.lint.checks.fs_order  # noqa: F401
+import repro.lint.checks.set_order  # noqa: F401
+import repro.lint.checks.pickle_safety  # noqa: F401
+import repro.lint.checks.float_format  # noqa: F401
+import repro.lint.checks.exceptions  # noqa: F401

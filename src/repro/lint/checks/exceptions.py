@@ -1,0 +1,94 @@
+"""Rule ``swallowed-exception``: bare/blanket handlers that hide failures.
+
+Two shapes are flagged:
+
+* ``except:`` (bare) — anywhere.  It catches ``KeyboardInterrupt`` and
+  ``SystemExit``, so a worker hangs instead of dying and a fleet's crash
+  recovery never fires.
+* ``except Exception`` / ``except BaseException`` whose body does
+  *nothing* (``pass``/``continue``/``...``) — on files holding the
+  ``worker`` role.  In worker/collect paths a silently swallowed failure
+  turns a dead shard into a truncated campaign that every downstream
+  aggregate happily consumes; the scheduler's merge invariants exist
+  precisely because that must never happen quietly.
+
+Narrow no-op handlers (``except OSError: pass`` around a best-effort
+``os.remove``) are deliberate and not flagged; blanket handlers that
+*act* — re-raise, return, warn, log, retry — are fine too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, LintRule, register_rule
+
+#: Exception names considered blanket catches.
+_BLANKET_TYPES = {"Exception", "BaseException"}
+
+
+def _is_blanket(node: ast.ExceptHandler) -> bool:
+    """Whether the handler catches Exception/BaseException (or a tuple
+    containing one)."""
+    if node.type is None:
+        return True
+    types = (
+        node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+    )
+    for entry in types:
+        if isinstance(entry, ast.Name) and entry.id in _BLANKET_TYPES:
+            return True
+    return False
+
+
+def _is_noop_body(body: List[ast.stmt]) -> bool:
+    """A handler body that neither acts on nor records the exception."""
+    for statement in body:
+        if isinstance(statement, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring or ``...``
+        return False
+    return True
+
+
+class SwallowedExceptionRule(LintRule):
+    rule_id = "swallowed-exception"
+    title = "bare except, or no-op blanket handler in a worker/collect path"
+
+    def check(self, context: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        worker_path = "worker" in context.roles
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    self.finding(
+                        context,
+                        node,
+                        "bare 'except:' catches KeyboardInterrupt/SystemExit "
+                        "— a worker hangs instead of dying and crash "
+                        "recovery never fires; name the exception types "
+                        "(at most 'except Exception')",
+                    )
+                )
+            elif worker_path and _is_blanket(node) and _is_noop_body(node.body):
+                findings.append(
+                    self.finding(
+                        context,
+                        node,
+                        "blanket handler silently swallows failures in a "
+                        "worker/collect path — a dead shard becomes a "
+                        "truncated campaign; re-raise, log, or narrow the "
+                        "exception type",
+                    )
+                )
+        return findings
+
+
+register_rule(SwallowedExceptionRule())

@@ -1,0 +1,105 @@
+"""Rule ``canonical-float-format``: lossy float text in canonical modules.
+
+Digest payloads and canonical identity strings must map distinct values
+to distinct text.  A precision-limited format (``f"{gap:.1f}"``,
+``format(mu, '.3g')``) collapses neighbouring sweep values into one
+token — two different campaigns then share a seed path, a label or a
+cache key, which is the worst failure mode a content-addressed cache
+has: *plausible* wrong results.
+
+The rule runs only on files holding the ``canonical`` role and flags
+f-string interpolations and ``format(...)`` calls whose literal format
+spec uses a float presentation type (``e``/``f``/``g``/``%``) or an
+explicit precision.  Sanctioned alternative:
+:func:`repro.utils.canonical.canonical_scalar`, the shared full-precision
+formatter (``str`` semantics: ``repr``-exact for floats in Python 3).
+
+Historical identity is the one legitimate exception: formats that are
+already baked into shipped seed derivations or labels cannot change
+without invalidating every cache and golden digest — those sites carry a
+line pragma saying exactly that.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, LintRule, register_rule
+
+#: Format-spec mini-language: ``[[fill]align][sign][#][0][width][,][.prec][type]``.
+#: Lossy iff the presentation type is a float one, or a precision is
+#: given (``.3`` without a type still truncates via ``format``).
+_LOSSY_SPEC_RE = re.compile(
+    r"""
+    ^[^{}]*?                # fill/align/sign/width/grouping (no nesting)
+    (?:
+        \.\d+[eEfFgG%]?$    # explicit precision, any or no float type
+      | [eEfFgG%]$          # float presentation type without precision
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _literal_spec(node: Optional[ast.AST]) -> Optional[str]:
+    """The literal text of an f-string format spec, or None.
+
+    A spec is itself a JoinedStr; only fully-literal specs are analysed —
+    a dynamic spec (``f"{x:{width}}"``) cannot be judged statically.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            else:
+                return None
+        return "".join(parts)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return str(node.value)
+    return None
+
+
+class CanonicalFloatFormatRule(LintRule):
+    rule_id = "canonical-float-format"
+    title = "precision-losing float format inside a canonical/digest module"
+    required_role = "canonical"
+
+    def _message(self, spec: str) -> str:
+        return (
+            f"format spec {spec!r} loses float precision in a "
+            "canonical/digest module — two distinct values can collapse "
+            "to one token; use repro.utils.canonical.canonical_scalar "
+            "(full precision), or pragma with a justification when the "
+            "format is part of a shipped historical identity"
+        )
+
+    def check(self, context: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.FormattedValue):
+                spec = _literal_spec(node.format_spec)
+                if spec is not None and _LOSSY_SPEC_RE.match(spec):
+                    findings.append(
+                        self.finding(context, node, self._message(spec))
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "format"
+                and len(node.args) == 2
+            ):
+                spec = _literal_spec(node.args[1])
+                if spec is not None and _LOSSY_SPEC_RE.match(spec):
+                    findings.append(
+                        self.finding(context, node, self._message(spec))
+                    )
+        return findings
+
+
+register_rule(CanonicalFloatFormatRule())

@@ -1,0 +1,124 @@
+"""Rule ``set-ordering``: set iteration order leaking into output.
+
+Iterating a ``set``/``frozenset`` yields elements in hash order, which
+for strings depends on ``PYTHONHASHSEED`` — a different order every
+process unless the seed is pinned.  A set iterated into a list, a joined
+string, a loop that appends to serialized output, or ``set.pop()``
+"pick the element" therefore produces machine-dependent bytes: the
+failure class that corrupts canonical forms while passing every
+single-process test.
+
+Order-insensitive consumption (``len``, ``sorted``, ``min``/``max``,
+``sum``, ``any``/``all``, membership) is fine and not flagged.  The rule
+tracks simple local assignments, so naming the set first does not hide
+the hazard::
+
+    labels = {r.intervention for r in results}
+    for label in labels:            # flagged
+        ...
+    for label in sorted(labels):    # fine
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, LintRule, register_rule
+
+#: Builtins that materialise their argument's iteration order.
+_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate", "iter", "map", "next"}
+
+_MESSAGE = (
+    "iterating a set yields hash order (PYTHONHASHSEED-dependent for "
+    "strings); wrap in sorted(...) before the order can reach output"
+)
+
+
+def _is_set_literalish(node: ast.AST) -> bool:
+    """A syntactically evident set: literal, comprehension, constructor."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class SetOrderingRule(LintRule):
+    rule_id = "set-ordering"
+    title = "set/frozenset iteration order reaching iteration or output"
+
+    def _set_typed_names(
+        self, context: FileContext
+    ) -> Dict[Tuple[Optional[ast.AST], str], bool]:
+        """``(scope, name) -> True`` for names only ever assigned sets.
+
+        Single-assignment tracking per function scope: a name assigned a
+        set expression is set-typed unless *any* other assignment in the
+        same scope gives it a different shape (then it is dropped — a
+        linter false negative beats a false positive here).
+        """
+        typed: Dict[Tuple[Optional[ast.AST], str], bool] = {}
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            scope = context.enclosing_function(node)
+            key = (scope, target.id)
+            is_set = _is_set_literalish(node.value)
+            if key in typed:
+                typed[key] = typed[key] and is_set
+            else:
+                typed[key] = is_set
+        return typed
+
+    def check(self, context: FileContext) -> List[Finding]:
+        typed = self._set_typed_names(context)
+
+        def is_setish(node: ast.AST) -> bool:
+            if _is_set_literalish(node):
+                return True
+            if isinstance(node, ast.Name):
+                return typed.get(
+                    (context.enclosing_function(node), node.id), False
+                )
+            return False
+
+        findings: List[Finding] = []
+        for node in ast.walk(context.tree):
+            flagged: Optional[ast.AST] = None
+            if isinstance(node, (ast.For, ast.AsyncFor)) and is_setish(node.iter):
+                flagged = node.iter
+            elif isinstance(node, ast.comprehension) and is_setish(node.iter):
+                flagged = node.iter
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE_WRAPPERS
+                    and any(is_setish(arg) for arg in node.args)
+                ):
+                    flagged = node
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and any(is_setish(arg) for arg in node.args)
+                ):
+                    flagged = node
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "pop"
+                    and not node.args
+                    and is_setish(node.func.value)
+                ):
+                    # ``set.pop()`` removes an *arbitrary* element — hash
+                    # order again, just one element at a time.
+                    flagged = node
+            if flagged is not None:
+                findings.append(self.finding(context, flagged, _MESSAGE))
+        return findings
+
+
+register_rule(SetOrderingRule())

@@ -1,0 +1,76 @@
+"""Rule ``wall-clock-digest``: wall-clock reads in canonical modules.
+
+A digest or canonical form that (however indirectly) folds in
+``time.time()``, ``datetime.now()`` or a performance counter is different
+on every run — which converts the content-addressed cache from "repeats
+execute zero episodes" into "repeats silently never hit", or worse, lets
+two *different* campaigns collide once the clock component is truncated.
+
+The rule runs only on files holding the ``canonical`` role (the
+digest/canonical-form modules listed in
+:data:`repro.lint.rules.DEFAULT_ROLE_SUFFIXES`, plus anything declaring
+``# repro-lint: role=canonical``).  Benchmarks are out of scope by
+construction — they hold the ``benchmark`` role, not ``canonical``.
+
+Legitimate wall-clock uses inside a canonical module (cache-entry age
+for ``gc``, for example) take a line pragma with a justification; the
+injectable ``now=None`` parameter pattern keeps them testable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, LintRule, register_rule
+
+#: Dotted call names that read the clock.  ``time.sleep`` is absent on
+#: purpose: waiting is not *reading*, and poll loops are legitimate in
+#: scheduler code.
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.date.today",
+    "date.today",
+}
+
+
+class WallClockRule(LintRule):
+    rule_id = "wall-clock-digest"
+    title = "wall-clock read inside a digest/canonical module"
+    required_role = "canonical"
+
+    def check(self, context: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = context.dotted_name(node.func)
+            if dotted in _CLOCK_CALLS:
+                findings.append(
+                    self.finding(
+                        context,
+                        node,
+                        f"{dotted}() in a canonical/digest module: a clock "
+                        "component makes canonical forms differ between "
+                        "runs; take the timestamp as an injectable "
+                        "parameter, or pragma with a justification if the "
+                        "value provably never reaches a digest",
+                    )
+                )
+        return findings
+
+
+register_rule(WallClockRule())

@@ -1,0 +1,257 @@
+"""The lint engine: file discovery, pragma handling, rule execution.
+
+Determinism is load-bearing here too: files are discovered in sorted
+order and findings are sorted by location, so two runs over the same tree
+always produce byte-identical reports — the property the CI gate and the
+committed baseline depend on.
+
+Suppression pragmas
+-------------------
+
+* ``# repro-lint: disable=<rule>[,<rule>...]`` on a line suppresses the
+  named rules (or ``all``) for findings anchored to that line.  For a
+  statement spanning several lines the pragma goes on the line where the
+  flagged expression *starts* (the AST anchor).
+* ``# repro-lint: disable-file=<rule>[,<rule>...]`` anywhere in the file
+  suppresses the named rules (or ``all``) for the whole file.
+* ``# repro-lint: role=<name>[,<name>...]`` declares module roles (see
+  :data:`repro.lint.rules.DEFAULT_ROLE_SUFFIXES`) so files outside the
+  built-in suffix map — rule fixtures, third-party trees — opt into
+  scoped rules.
+
+Every pragma should carry a justification comment; the pragma disables
+the rule, the justification keeps the next reader from deleting it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.metrics import PathLike
+from repro.lint.findings import Finding
+from repro.lint.rules import (
+    FileContext,
+    LintRule,
+    get_rule,
+    registered_rules,
+)
+
+#: Pragma grammar: ``# repro-lint: <directive>=<value>[,<value>...]``.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<directive>disable-file|disable|role)\s*="
+    r"\s*(?P<values>[A-Za-z0-9_,\- ]+)"
+)
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {".git", "__pycache__", ".hypothesis", ".pytest_cache"}
+
+
+@dataclass(frozen=True)
+class _Pragmas:
+    """Suppressions and roles collected from one file's comments."""
+
+    line_disables: Dict[int, Set[str]] = field(default_factory=dict)
+    file_disables: Set[str] = field(default_factory=set)
+    roles: Set[str] = field(default_factory=set)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Whether a pragma suppresses ``finding``."""
+        if "all" in self.file_disables or finding.rule_id in self.file_disables:
+            return True
+        on_line = self.line_disables.get(finding.line, ())
+        return "all" in on_line or finding.rule_id in on_line
+
+
+def _collect_pragmas(source: str) -> _Pragmas:
+    """Parse every ``# repro-lint:`` pragma out of ``source``.
+
+    Purely line-based: pragmas live in comments, which the AST does not
+    retain.  A pragma inside a string literal would be honoured too —
+    acceptable for a linter (the fixture tests embed hazards in plain
+    source, not strings).
+    """
+    line_disables: Dict[int, Set[str]] = {}
+    file_disables: Set[str] = set()
+    roles: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        values = {
+            value.strip()
+            for value in match.group("values").split(",")
+            if value.strip()
+        }
+        if not values:
+            continue
+        directive = match.group("directive")
+        if directive == "disable":
+            line_disables.setdefault(lineno, set()).update(values)
+        elif directive == "disable-file":
+            file_disables.update(values)
+        else:  # role
+            roles.update(values)
+    return _Pragmas(
+        line_disables=line_disables, file_disables=file_disables, roles=roles
+    )
+
+
+def select_rules(
+    enable: Optional[Sequence[str]] = None,
+    disable: Optional[Sequence[str]] = None,
+) -> List[LintRule]:
+    """Resolve ``--rule`` / ``--disable`` flags against the registry.
+
+    Args:
+        enable: run only these rules (default: every registered rule).
+        disable: drop these rules from the selection.
+
+    Raises:
+        UnknownRuleError: a name in either list is not registered —
+            a silently ignored selector would report "clean" while not
+            checking what the caller asked for.
+        ValueError: the selection is empty.
+    """
+    for rule_id in tuple(enable or ()) + tuple(disable or ()):
+        get_rule(rule_id)  # raises UnknownRuleError with the catalog
+    selected = list(enable) if enable else list(registered_rules())
+    dropped = set(disable or ())
+    rules = [get_rule(rid) for rid in dict.fromkeys(selected) if rid not in dropped]
+    if not rules:
+        raise ValueError(
+            "rule selection is empty: every selected rule was disabled"
+        )
+    return rules
+
+
+def iter_python_files(paths: Sequence[PathLike]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Directories are walked recursively in sorted order (the engine must
+    not inherit filesystem iteration order — the exact hazard one of its
+    own rules flags); explicit file arguments are kept whether or not
+    they end in ``.py``, so fixtures with any suffix can be scanned.
+
+    Raises:
+        OSError: a path does not exist.
+    """
+    discovered: List[str] = []
+    for raw in paths:
+        path = os.fspath(raw)
+        if os.path.isdir(path):
+            # Discovery must not inherit filesystem order; both name lists
+            # are sorted explicitly below, which the walk rule cannot see.
+            walker = os.walk(path)  # repro-lint: disable=unsorted-fs-iteration
+            for dirpath, dirnames, filenames in walker:
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _SKIP_DIRS
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        discovered.append(os.path.join(dirpath, name))
+        elif os.path.exists(path):
+            discovered.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+    # De-duplicate while preserving nothing but the sorted order (a file
+    # reachable through two arguments must be reported once).
+    return sorted(dict.fromkeys(f.replace("\\", "/") for f in discovered))
+
+
+def lint_file(
+    path: PathLike,
+    rules: Optional[Sequence[LintRule]] = None,
+    source: Optional[str] = None,
+) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over one file.
+
+    A file that does not parse yields a single ``syntax-error`` finding
+    instead of raising: one broken file must not hide findings in the
+    rest of a tree-wide scan (and a syntactically broken file in a
+    reproduction pipeline is itself a finding).
+
+    Returns:
+        Pragma-filtered findings sorted by location.
+    """
+    path = os.fspath(path).replace("\\", "/")
+    if source is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    if rules is None:
+        rules = select_rules()
+    pragmas = _collect_pragmas(source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=max(0, (exc.offset or 1) - 1),
+                rule_id="syntax-error",
+                severity="error",
+                message=f"file does not parse: {exc.msg}",
+                snippet=(exc.text or "").strip(),
+            )
+        ]
+    context = FileContext(path, source, tree, extra_roles=sorted(pragmas.roles))
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(context):
+            continue
+        findings.extend(rule.check(context))
+    kept = [f for f in findings if not pragmas.suppresses(f)]
+    return sorted(kept, key=Finding.sort_key)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one engine run.
+
+    Attributes:
+        findings: every kept (non-suppressed, non-baselined) finding,
+            sorted by location.
+        files: the scanned files, sorted.
+        rules: ids of the rules that ran.
+        grandfathered: findings absorbed by the baseline (informational).
+    """
+
+    findings: Tuple[Finding, ...]
+    files: Tuple[str, ...]
+    rules: Tuple[str, ...]
+    grandfathered: Tuple[Finding, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def lint_paths(
+    paths: Sequence[PathLike],
+    rules: Optional[Sequence[LintRule]] = None,
+) -> LintReport:
+    """Run the engine over files and directories.
+
+    Args:
+        paths: files and/or directories; directories are walked for
+            ``.py`` files in sorted order.
+        rules: rule instances to run (default: every registered rule).
+
+    Returns:
+        A :class:`LintReport` with location-sorted findings.
+    """
+    if rules is None:
+        rules = select_rules()
+    files = iter_python_files(paths)
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, rules=rules))
+    return LintReport(
+        findings=tuple(sorted(findings, key=Finding.sort_key)),
+        files=tuple(files),
+        rules=tuple(rule.rule_id for rule in rules),
+    )

@@ -1,0 +1,73 @@
+"""The :class:`Finding` model shared by every rule, reporter and gate.
+
+A finding is one located hazard: file, 1-based line, 0-based column, the
+rule that raised it, a severity, a human-readable message and the source
+snippet it anchors to.  Findings are immutable and ordered by location so
+every reporter (text, JSON, baseline) emits them deterministically —
+the lint tool must hold itself to the invariants it enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Admissible severities, weakest last.  ``error`` findings gate CI;
+#: ``warning`` findings are advisory (none of the shipped rules emit
+#: warnings today, but the model carries the distinction so a rule can be
+#: soft-launched before it starts failing builds).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One hazard located by a lint rule.
+
+    Attributes:
+        path: the scanned file, normalised to forward slashes (relative
+            when the scan was given a relative path).
+        line: 1-based line number of the offending node.
+        col: 0-based column offset of the offending node.
+        rule_id: id of the rule that raised the finding (registry key).
+        severity: one of :data:`SEVERITIES`.
+        message: one-line human-readable description of the hazard.
+        snippet: the stripped source line the finding anchors to.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+    snippet: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+        if self.line < 1:
+            raise ValueError(f"line numbers are 1-based, got {self.line}")
+        if self.col < 0:
+            raise ValueError(f"column offsets are 0-based, got {self.col}")
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Deterministic ordering: by file, then location, then rule."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (the ``--json`` reporter and the baseline)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def location(self) -> str:
+        """The clickable ``path:line:col`` prefix of the text reporter."""
+        return f"{self.path}:{self.line}:{self.col}"

@@ -1,0 +1,63 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+Both forms are deterministic in the finding list (which the engine sorts
+by location), so CI logs and ``--json`` output diff cleanly between runs
+— the same property every other ``--json`` surface in the toolkit keeps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Sequence
+
+from repro.lint.findings import Finding
+
+#: Format tag of the JSON document, matching the toolkit's other
+#: machine-readable surfaces (``scenarios list --json``, ``cache list
+#: --json``).  Bump on shape changes.
+JSON_FORMAT = 1
+
+
+def render_text(
+    findings: Sequence[Finding],
+    files: Sequence[str],
+    grandfathered: Sequence[Finding] = (),
+) -> str:
+    """The default reporter: one ``path:line:col`` block per finding.
+
+    The location prefix matches compiler convention so editors and CI
+    annotators pick the findings up without configuration.
+    """
+    lines = []
+    for finding in findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule_id} "
+            f"{finding.severity}: {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    summary = (
+        f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+        f"in {len(files)} file{'s' if len(files) != 1 else ''}"
+    )
+    if grandfathered:
+        summary += f" ({len(grandfathered)} grandfathered by the baseline)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    files: Sequence[str],
+    grandfathered: Sequence[Finding] = (),
+    rules: Optional[Sequence[str]] = None,
+) -> str:
+    """The ``--json`` reporter: one self-describing document."""
+    document: Dict[str, object] = {
+        "format": JSON_FORMAT,
+        "files": list(files),
+        "rules": list(rules) if rules is not None else None,
+        "findings": [f.to_dict() for f in findings],
+        "grandfathered": [f.to_dict() for f in grandfathered],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,270 @@
+"""Rule base class, per-file analysis context, and the rule registry.
+
+The registry follows the scenario-family / worker-backend idiom
+(:mod:`repro.sim.families`, :mod:`repro.core.scheduler`):
+``register_rule`` / ``get_rule`` / ``registered_rules``, with
+:class:`UnknownRuleError` naming everything that *is* registered so a
+mistyped ``--rule`` flag reads as documentation, not a traceback.
+
+Module roles
+------------
+
+Some hazards are only hazards in particular modules: a wall-clock read is
+fine in a progress bar but poison inside a digest computation.  Rules
+therefore declare ``required_role`` and the engine only runs them on
+files holding that role.  Roles come from two sources:
+
+* the built-in suffix map :data:`DEFAULT_ROLE_SUFFIXES` (this repo's
+  canonical/digest and worker/collect modules), and
+* an explicit ``# repro-lint: role=<name>[,<name>...]`` pragma in the
+  file itself — which is how rule fixtures (and third-party trees) opt
+  into scoped rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding
+
+#: Role names understood by the shipped rules.
+ROLES = ("canonical", "worker", "benchmark")
+
+#: Path suffixes (forward-slash form) mapped to the roles they hold.
+#: ``canonical`` marks digest/canonical-form modules where wall-clock and
+#: lossy float formatting silently corrupt campaign identity; ``worker``
+#: marks fleet/collect paths where a swallowed exception turns a dead
+#: shard into a silent truncation.
+DEFAULT_ROLE_SUFFIXES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("repro/core/cache.py", ("canonical",)),
+    ("repro/attacks/campaign.py", ("canonical",)),
+    ("repro/core/scheduler.py", ("canonical", "worker")),
+    ("repro/sim/families.py", ("canonical",)),
+    ("repro/core/executor.py", ("worker",)),
+    ("repro/cli.py", ("worker",)),
+)
+
+
+def roles_for_path(path: str) -> Set[str]:
+    """The built-in roles a file holds, by path suffix."""
+    normalised = path.replace("\\", "/")
+    roles: Set[str] = set()
+    for suffix, held in DEFAULT_ROLE_SUFFIXES:
+        if normalised.endswith(suffix):
+            roles.update(held)
+    if "/benchmarks/" in normalised or normalised.startswith("benchmarks/"):
+        roles.add("benchmark")
+    return roles
+
+
+class FileContext:
+    """Everything a rule needs to analyse one parsed file.
+
+    Attributes:
+        path: the file path as reported in findings (forward slashes).
+        source: full file text.
+        lines: source split into lines (index 0 = line 1).
+        tree: the parsed :mod:`ast` module node, with parent links
+            attached (see :meth:`parent`).
+        roles: the module roles in effect (built-in suffix map plus any
+            ``role=`` pragma collected by the engine).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        extra_roles: Sequence[str] = (),
+    ) -> None:
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.roles = roles_for_path(self.path) | set(extra_roles)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[child] = node
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node``, or None for the module."""
+        return self._parents.get(node)
+
+    def snippet(self, line: int) -> str:
+        """The stripped source text of 1-based ``line`` (may be empty)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """``a.b.c`` for a Name/Attribute chain, else None.
+
+        Purely syntactic — no import resolution — which is the right
+        trade for a determinism linter: ``random.random()`` is a hazard
+        whether ``random`` is the stdlib module or something shadowing
+        it, and a false positive is one pragma away.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """The nearest enclosing function/async-function def, or None."""
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parent(current)
+        return None
+
+
+class LintRule:
+    """Base class for registered lint rules.
+
+    Subclasses provide:
+
+    * :attr:`rule_id` — unique registry key (doubles as the CLI
+      ``--rule`` / ``--disable`` and pragma name);
+    * :attr:`title` — one-line description for ``repro lint --list``;
+    * :attr:`required_role` — run only on files holding the role
+      (None = every scanned file);
+    * :meth:`check` — return the findings for one :class:`FileContext`.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    severity: str = "error"
+    required_role: Optional[str] = None
+
+    def applies_to(self, context: FileContext) -> bool:
+        """Whether the rule runs on this file at all (role scoping)."""
+        if self.required_role is None:
+            return True
+        return self.required_role in context.roles
+
+    def check(self, context: FileContext) -> List[Finding]:
+        """Findings for one file.  Must be deterministic in the source."""
+        raise NotImplementedError
+
+    def finding(
+        self, context: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored to ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=context.path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+            snippet=context.snippet(line),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LintRule({self.rule_id!r})"
+
+
+class UnknownRuleError(ValueError):
+    """A rule id that no registered rule claims.
+
+    The message names every registered rule so ``--rule``/``--disable``
+    typos (and stale pragmas) read as documentation.
+    """
+
+    def __init__(self, rule_id: object, registered: Sequence[str]) -> None:
+        self.rule_id = rule_id
+        self.registered = tuple(registered)
+        names = ", ".join(self.registered) if self.registered else "(none)"
+        super().__init__(
+            f"unknown lint rule {rule_id!r}; registered rules: {names} "
+            "(see 'repro lint --list')"
+        )
+
+
+_REGISTRY: Dict[str, LintRule] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Import the modules that register the built-in rules.
+
+    Mirrors :func:`repro.sim.families._ensure_builtins`: normally
+    :mod:`repro.lint.checks` has already registered everything, but the
+    lazy fallback keeps direct ``rules`` users working under any import
+    order.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.lint.checks  # noqa: F401  (registers the built-in rules)
+
+
+def register_rule(rule: LintRule, replace: bool = False) -> LintRule:
+    """Register ``rule`` under its id; returns it (decorator-friendly).
+
+    Raises:
+        ValueError: a malformed id, or the id is already registered
+            (unless ``replace``).
+    """
+    rid = rule.rule_id
+    if not rid or rid != rid.strip() or any(c.isspace() for c in rid):
+        raise ValueError(
+            f"rule_id must be a non-empty token without whitespace, got {rid!r}"
+        )
+    if not replace and rid in _REGISTRY:
+        raise ValueError(
+            f"lint rule {rid!r} is already registered; pass replace=True "
+            "to override it"
+        )
+    _REGISTRY[rid] = rule
+    return rule
+
+
+def unregister_rule(rule_id: str) -> None:
+    """Remove a rule from the registry (test harness use)."""
+    _REGISTRY.pop(rule_id, None)
+
+
+def get_rule(rule_id: str) -> LintRule:
+    """The registered rule for ``rule_id``.
+
+    Raises:
+        UnknownRuleError: no registered rule claims the id; the message
+            lists every registered rule.
+    """
+    rule = _REGISTRY.get(rule_id)
+    if rule is None:
+        _ensure_builtins()
+        rule = _REGISTRY.get(rule_id)
+    if rule is None:
+        raise UnknownRuleError(rule_id, registered_rules())
+    return rule
+
+
+def registered_rules() -> Tuple[str, ...]:
+    """Every registered rule id, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def rule_catalog() -> List[Dict[str, object]]:
+    """JSON-safe description of every registered rule (``lint --list``)."""
+    return [
+        {
+            "id": rid,
+            "title": _REGISTRY[rid].title,
+            "severity": _REGISTRY[rid].severity,
+            "role": _REGISTRY[rid].required_role,
+        }
+        for rid in registered_rules()
+    ]

@@ -39,6 +39,7 @@ from repro.sim.road import Road
 from repro.sim.vehicle import EgoVehicle
 from repro.sim.weather import FrictionCondition
 from repro.sim.world import World
+from repro.utils.canonical import canonical_scalar
 from repro.utils.rng import RngStreams
 from repro.utils.units import mph_to_ms
 
@@ -476,8 +477,11 @@ def family_catalog() -> List[Dict[str, object]]:
 def param_token(params: ParamItems) -> str:
     """Canonical text form of resolved parameters: ``"k=v,k=v"``.
 
-    Used in episode seed derivation and human-readable labels.  Floats
-    print via ``str`` (full precision — two distinct sweep values must
-    never collapse to one token).
+    Used in episode seed derivation and human-readable labels.  Values
+    format through the shared canonical formatter
+    (:func:`repro.utils.canonical.canonical_scalar` — ``str`` semantics,
+    full precision), so two distinct sweep values can never collapse to
+    one token; the output is byte-identical to the historical f-string
+    form, so no digest or seed changed when the helper was introduced.
     """
-    return ",".join(f"{name}={value}" for name, value in params)
+    return ",".join(f"{name}={canonical_scalar(value)}" for name, value in params)

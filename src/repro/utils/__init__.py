@@ -13,6 +13,7 @@ from repro.utils.units import (
     ms_to_kmh,
     ms_to_mph,
 )
+from repro.utils.canonical import canonical_scalar
 from repro.utils.mathx import clamp, interp1d, rate_limit, sign, wrap_angle
 from repro.utils.rng import RngStreams, derive_seed
 from repro.utils.buffers import RingBuffer
@@ -30,6 +31,7 @@ __all__ = [
     "rate_limit",
     "sign",
     "wrap_angle",
+    "canonical_scalar",
     "RngStreams",
     "derive_seed",
     "RingBuffer",

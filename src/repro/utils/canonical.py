@@ -1,0 +1,39 @@
+"""The shared canonical scalar formatter for identity-bearing text.
+
+Every place a parameter value becomes *identity text* — seed-derivation
+paths (:func:`repro.utils.rng.derive_seed` inputs), episode labels,
+``param_token`` — must format it the same way, at full precision: two
+distinct float values that render to one token would share seeds, labels
+or cache keys.  ``repro lint`` (the ``canonical-float-format`` rule)
+flags ad-hoc precision-limited formatting in canonical modules and
+points here.
+
+The canonical form is ``str`` semantics, which for Python 3 floats is
+``repr``-exact: the shortest string that round-trips through ``float``.
+This is deliberately byte-identical to what the pre-formatter code
+produced via f-string interpolation, so introducing the shared helper
+changed no digest, seed or label.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def canonical_scalar(value: object) -> str:
+    """Full-precision canonical text of one identity-bearing scalar.
+
+    ``str`` semantics — ``repr``-exact for floats, so the mapping from
+    value to text is injective over finite floats (and round-trips:
+    ``float(canonical_scalar(x)) == x``).
+
+    Raises:
+        ValueError: a non-finite float — NaN/inf must never silently
+            become part of a campaign identity (NaN additionally breaks
+            the injectivity contract: ``float("nan") != float("nan")``).
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ValueError(
+            f"non-finite value {value!r} cannot join a canonical identity"
+        )
+    return str(value)

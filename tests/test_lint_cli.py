@@ -1,0 +1,212 @@
+"""CLI tests for ``repro lint`` and the ``cache gc --keep-days`` bugfix.
+
+Exit-code contract (mirrors the rest of the toolkit): 0 clean, 1
+findings, 2 usage/configuration errors — so the CI gate is a bare
+``repro lint src/repro`` and a cron wrapper can tell "hazard found"
+from "you invoked me wrong".
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+#: A fixture with one hazard per rule-family the gate must catch.
+HAZARDS = textwrap.dedent(
+    """\
+    # repro-lint: role=canonical,worker
+    import os
+    import random
+    import time
+
+
+    def emit(results):
+        labels = {r.label for r in results}
+        stamp = time.time()
+        token = ",".join(labels)
+        return f"{random.random():.3f}", stamp, token
+
+
+    def scan(pool, root):
+        for name in os.listdir(root):
+            pool.submit(lambda: name)
+
+
+    def collect(shard):
+        try:
+            shard.load()
+        except:
+            pass
+    """
+)
+
+CLEAN = "VALUES = sorted({'b', 'a'})\nTOTAL = len(VALUES)\n"
+
+
+@pytest.fixture
+def hazard_file(tmp_path):
+    path = tmp_path / "hazards.py"
+    path.write_text(HAZARDS)
+    return path
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text(CLEAN)
+        assert main(["lint", str(clean)]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings in 1 file" in out
+
+    def test_findings_exit_one_with_locations(self, hazard_file, capsys):
+        assert main(["lint", str(hazard_file)]) == 1
+        out = capsys.readouterr().out
+        for rule_id in (
+            "unseeded-rng",
+            "wall-clock-digest",
+            "unsorted-fs-iteration",
+            "set-ordering",
+            "unpicklable-submission",
+            "canonical-float-format",
+            "swallowed-exception",
+        ):
+            assert rule_id in out, f"{rule_id} missing from report"
+
+    def test_json_output(self, hazard_file, capsys):
+        assert main(["lint", str(hazard_file), "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == 1
+        assert document["rules"] == [
+            "unseeded-rng",
+            "wall-clock-digest",
+            "unsorted-fs-iteration",
+            "set-ordering",
+            "unpicklable-submission",
+            "canonical-float-format",
+            "swallowed-exception",
+        ]
+        assert {f["rule"] for f in document["findings"]} >= {
+            "unseeded-rng",
+            "set-ordering",
+        }
+
+    def test_rule_and_disable_selectors(self, hazard_file, capsys):
+        assert main(["lint", str(hazard_file), "--rule", "unseeded-rng"]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-rng" in out and "set-ordering" not in out
+
+        rc = main(
+            ["lint", str(hazard_file)]
+            + [
+                flag
+                for rule in (
+                    "unseeded-rng",
+                    "wall-clock-digest",
+                    "unsorted-fs-iteration",
+                    "set-ordering",
+                    "unpicklable-submission",
+                    "canonical-float-format",
+                    "swallowed-exception",
+                )
+                for flag in ("--disable", rule)
+            ]
+        )
+        capsys.readouterr()
+        assert rc == 2  # empty selection is a usage error, not "clean"
+
+    def test_unknown_rule_exits_two_naming_catalog(self, hazard_file, capsys):
+        assert main(["lint", str(hazard_file), "--rule", "typo-rule"]) == 2
+        err = capsys.readouterr().err
+        assert "typo-rule" in err and "unseeded-rng" in err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.py")]) == 2
+        assert "nope.py" in capsys.readouterr().err
+
+    def test_list_flag(self, capsys):
+        assert main(["lint", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "unseeded-rng" in out and "canonical-float-format" in out
+
+    def test_write_baseline_round_trip(self, hazard_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        rc = main(
+            [
+                "lint", str(hazard_file),
+                "--write-baseline", "--baseline", str(baseline),
+            ]
+        )
+        assert rc == 0
+        assert "wrote baseline" in capsys.readouterr().out
+
+        # Grandfathered: the same tree now gates clean...
+        assert main(
+            ["lint", str(hazard_file), "--baseline", str(baseline)]
+        ) == 0
+        assert "grandfathered by the baseline" in capsys.readouterr().out
+
+        # ...but a *new* hazard still fails.
+        hazard_file.write_text(
+            HAZARDS + "\n\nextra = ','.join({'x', 'y'})\n"
+        )
+        assert main(
+            ["lint", str(hazard_file), "--baseline", str(baseline)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "extra" in out
+
+    def test_malformed_baseline_exits_two(self, hazard_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("not json\n")
+        assert main(
+            ["lint", str(hazard_file), "--baseline", str(baseline)]
+        ) == 2
+        assert "not a baseline" in capsys.readouterr().err
+
+
+class TestCacheGcKeepDaysValidation:
+    """Bugfix: negative ``--keep-days`` must die at the parser with a
+    message naming the flag, never reach the cache layer."""
+
+    @pytest.mark.parametrize("bad", ["-1", "-0.5", "nan", "inf", "-inf"])
+    def test_negative_or_nonfinite_rejected_at_parse_time(
+        self, bad, tmp_path, capsys
+    ):
+        with pytest.raises(SystemExit) as exit_info:
+            main(
+                [
+                    "cache", "gc",
+                    "--cache-dir", str(tmp_path),
+                    "--keep-days", bad,
+                ]
+            )
+        assert exit_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "--keep-days" in err
+
+    def test_non_numeric_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(
+                [
+                    "cache", "gc",
+                    "--cache-dir", str(tmp_path),
+                    "--keep-days", "soon",
+                ]
+            )
+        assert exit_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "--keep-days" in err and "'soon'" in err
+
+    def test_zero_and_positive_still_accepted(self, tmp_path, capsys):
+        for value in ("0", "2.5"):
+            rc = main(
+                [
+                    "cache", "gc",
+                    "--cache-dir", str(tmp_path),
+                    "--keep-days", value,
+                ]
+            )
+            assert rc == 0
+        capsys.readouterr()

@@ -1,0 +1,350 @@
+"""Engine, registry, baseline and reporter tests for ``repro lint``.
+
+Ends with the self-check the CI gate rests on: the shipped ``src/repro``
+tree is clean under every built-in rule (intentional exceptions carry
+inline pragmas, not baseline entries), so any new hazard fails CI.
+"""
+
+import json
+import textwrap
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    LintRule,
+    UnknownRuleError,
+    apply_baseline,
+    finding_fingerprint,
+    get_rule,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    load_baseline,
+    register_rule,
+    registered_rules,
+    render_json,
+    render_text,
+    select_rules,
+    write_baseline,
+)
+from repro.lint.rules import unregister_rule
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def dedent(source):
+    return textwrap.dedent(source)
+
+
+class TestRegistry:
+    def test_unknown_rule_names_the_catalog(self):
+        with pytest.raises(UnknownRuleError) as err:
+            get_rule("no-such-rule")
+        message = str(err.value)
+        assert "no-such-rule" in message
+        for rule_id in registered_rules():
+            assert rule_id in message
+        assert "repro lint --list" in message
+
+    def test_unknown_rule_is_a_value_error(self):
+        # The CLI umbrella turns ValueError into exit 2; the registry
+        # error must ride that path like the family/backend registries.
+        assert issubclass(UnknownRuleError, ValueError)
+
+    def test_register_duplicate_rejected_and_replace_allowed(self):
+        class Custom(LintRule):
+            rule_id = "test-custom-rule"
+            title = "test rule"
+
+            def check(self, context):
+                return []
+
+        try:
+            register_rule(Custom())
+            with pytest.raises(ValueError, match="already registered"):
+                register_rule(Custom())
+            register_rule(Custom(), replace=True)
+            assert get_rule("test-custom-rule").title == "test rule"
+        finally:
+            unregister_rule("test-custom-rule")
+        with pytest.raises(UnknownRuleError):
+            get_rule("test-custom-rule")
+
+    def test_register_rejects_malformed_ids(self):
+        class Nameless(LintRule):
+            rule_id = ""
+
+            def check(self, context):
+                return []
+
+        with pytest.raises(ValueError, match="rule_id"):
+            register_rule(Nameless())
+
+    def test_custom_rule_runs_through_the_engine(self):
+        # The README's worked example: flag TODO comments left in source.
+        class TodoRule(LintRule):
+            rule_id = "no-todo"
+            title = "TODO comment left in source"
+            severity = "warning"
+
+            def check(self, context):
+                found = []
+                for lineno, text in enumerate(context.lines, start=1):
+                    if "TODO" in text:
+                        found.append(
+                            Finding(
+                                path=context.path,
+                                line=lineno,
+                                col=text.index("TODO"),
+                                rule_id=self.rule_id,
+                                severity=self.severity,
+                                message="unresolved TODO",
+                                snippet=text.strip(),
+                            )
+                        )
+                return found
+
+        try:
+            register_rule(TodoRule())
+            findings = lint_file(
+                "fixture.py",
+                rules=select_rules(enable=["no-todo"]),
+                source="x = 1  # TODO: tighten\n",
+            )
+            assert [f.rule_id for f in findings] == ["no-todo"]
+            assert findings[0].severity == "warning"
+        finally:
+            unregister_rule("no-todo")
+
+
+class TestSelectRules:
+    def test_default_is_every_registered_rule(self):
+        assert [r.rule_id for r in select_rules()] == list(registered_rules())
+
+    def test_enable_and_disable(self):
+        rules = select_rules(enable=["set-ordering", "unseeded-rng"])
+        assert [r.rule_id for r in rules] == ["set-ordering", "unseeded-rng"]
+        rules = select_rules(disable=["set-ordering"])
+        assert "set-ordering" not in [r.rule_id for r in rules]
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(UnknownRuleError):
+            select_rules(enable=["typo-rule"])
+        with pytest.raises(UnknownRuleError):
+            select_rules(disable=["typo-rule"])
+
+    def test_empty_selection_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            select_rules(enable=["unseeded-rng"], disable=["unseeded-rng"])
+
+
+class TestDiscovery:
+    def test_sorted_recursive_discovery_with_skip_dirs(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "c.py").write_text("x = 1\n")
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        files = iter_python_files([tmp_path])
+        names = [Path(f).name for f in files]
+        assert names == ["a.py", "b.py", "c.py"]
+
+    def test_explicit_file_kept_regardless_of_suffix(self, tmp_path):
+        fixture = tmp_path / "fixture.txt"
+        fixture.write_text("x = 1\n")
+        assert iter_python_files([fixture]) == [str(fixture).replace("\\", "/")]
+
+    def test_duplicate_arguments_deduplicated(self, tmp_path):
+        target = tmp_path / "a.py"
+        target.write_text("x = 1\n")
+        assert len(iter_python_files([target, tmp_path])) == 1
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no-such"):
+            iter_python_files([tmp_path / "no-such.py"])
+
+
+class TestPragmas:
+    SOURCE = dedent(
+        """\
+        import random
+        a = random.random()
+        b = random.random()
+        """
+    )
+
+    def test_line_pragma_suppresses_only_its_line(self):
+        source = self.SOURCE.replace(
+            "a = random.random()",
+            "a = random.random()  # repro-lint: disable=unseeded-rng",
+        )
+        findings = lint_file("fixture.py", source=source)
+        assert [f.line for f in findings] == [3]
+
+    def test_disable_all_on_line(self):
+        source = self.SOURCE.replace(
+            "a = random.random()",
+            "a = random.random()  # repro-lint: disable=all",
+        )
+        findings = lint_file("fixture.py", source=source)
+        assert [f.line for f in findings] == [3]
+
+    def test_file_pragma_suppresses_whole_file(self):
+        source = "# repro-lint: disable-file=unseeded-rng\n" + self.SOURCE
+        assert lint_file("fixture.py", source=source) == []
+
+    def test_syntax_error_becomes_a_finding(self):
+        findings = lint_file("fixture.py", source="def broken(:\n")
+        assert [f.rule_id for f in findings] == ["syntax-error"]
+        assert findings[0].severity == "error"
+
+
+class TestBaseline:
+    def make_findings(self, source):
+        return lint_file("pkg/mod.py", source=source)
+
+    def test_round_trip_absorbs_recorded_findings(self, tmp_path):
+        findings = self.make_findings(
+            "import random\nvalue = random.random()\n"
+        )
+        assert len(findings) == 1
+        target = tmp_path / "baseline.json"
+        write_baseline(target, findings)
+        new, grandfathered = apply_baseline(findings, load_baseline(target))
+        assert new == []
+        assert grandfathered == findings
+
+    def test_line_drift_survives_but_duplication_does_not(self, tmp_path):
+        original = self.make_findings(
+            "import random\nvalue = random.random()\n"
+        )
+        target = tmp_path / "baseline.json"
+        write_baseline(target, original)
+        baseline = load_baseline(target)
+
+        # Same hazard shifted down the file: still grandfathered.
+        drifted = self.make_findings(
+            "import random\n\n\nvalue = random.random()\n"
+        )
+        new, grandfathered = apply_baseline(drifted, baseline)
+        assert new == [] and len(grandfathered) == 1
+
+        # A second copy of the hazard: the multiset absorbs only one.
+        doubled = self.make_findings(
+            "import random\nvalue = random.random()\nvalue = random.random()\n"
+        )
+        new, grandfathered = apply_baseline(doubled, baseline)
+        assert len(new) == 1 and len(grandfathered) == 1
+
+    def test_fingerprint_is_line_free_and_snippet_sensitive(self):
+        base = dict(
+            path="a.py",
+            col=0,
+            rule_id="unseeded-rng",
+            severity="error",
+            message="m",
+            snippet="x = random.random()",
+        )
+        first = Finding(line=2, **base)
+        moved = Finding(line=40, **base)
+        assert finding_fingerprint(first) == finding_fingerprint(moved)
+        other = Finding(line=2, **{**base, "snippet": "y = random.random()"})
+        assert finding_fingerprint(first) != finding_fingerprint(other)
+
+    def test_stale_or_malformed_baselines_fail_loudly(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text('{"format": 99, "findings": []}\n')
+        with pytest.raises(ValueError, match="format"):
+            load_baseline(target)
+        target.write_text("not json at all\n")
+        with pytest.raises(ValueError, match="not a baseline"):
+            load_baseline(target)
+        target.write_text('{"no": "findings"}\n')
+        with pytest.raises(ValueError, match="findings"):
+            load_baseline(target)
+
+    def test_empty_baseline_absorbs_nothing(self):
+        findings = self.make_findings(
+            "import random\nvalue = random.random()\n"
+        )
+        new, grandfathered = apply_baseline(findings, Counter())
+        assert new == findings and grandfathered == []
+
+
+class TestReporters:
+    def findings(self):
+        return lint_file(
+            "pkg/mod.py", source="import random\nvalue = random.random()\n"
+        )
+
+    def test_text_report_uses_compiler_convention(self):
+        findings = self.findings()
+        text = render_text(findings, ["pkg/mod.py"])
+        assert text.startswith("pkg/mod.py:2:8: unseeded-rng error:")
+        assert "value = random.random()" in text
+        assert text.endswith("1 finding in 1 file")
+
+    def test_text_report_counts_grandfathered(self):
+        findings = self.findings()
+        text = render_text([], ["pkg/mod.py"], grandfathered=findings)
+        assert "0 findings in 1 file (1 grandfathered by the baseline)" in text
+
+    def test_json_report_is_self_describing_and_deterministic(self):
+        findings = self.findings()
+        first = render_json(findings, ["pkg/mod.py"], rules=["unseeded-rng"])
+        second = render_json(findings, ["pkg/mod.py"], rules=["unseeded-rng"])
+        assert first == second
+        document = json.loads(first)
+        assert document["format"] == 1
+        assert document["rules"] == ["unseeded-rng"]
+        assert document["findings"][0]["rule"] == "unseeded-rng"
+        assert document["findings"][0]["line"] == 2
+
+
+class TestFindingModel:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="severity"):
+            Finding(
+                path="a.py", line=1, col=0, rule_id="r",
+                severity="fatal", message="m",
+            )
+        with pytest.raises(ValueError, match="line"):
+            Finding(
+                path="a.py", line=0, col=0, rule_id="r",
+                severity="error", message="m",
+            )
+
+    def test_sorting_is_by_location_then_rule(self):
+        make = lambda line, col, rule: Finding(  # noqa: E731
+            path="a.py", line=line, col=col, rule_id=rule,
+            severity="error", message="m",
+        )
+        shuffled = [make(2, 0, "b"), make(1, 4, "a"), make(1, 4, "A")]
+        ordered = sorted(shuffled, key=Finding.sort_key)
+        assert [(f.line, f.col, f.rule_id) for f in ordered] == [
+            (1, 4, "A"), (1, 4, "a"), (2, 0, "b"),
+        ]
+
+
+class TestShippedTreeSelfCheck:
+    """The CI gate's contract: the shipped tree is clean, not baselined."""
+
+    def test_src_repro_is_clean_under_every_rule(self):
+        report = lint_paths([REPO_ROOT / "src" / "repro"])
+        assert report.rules == registered_rules()
+        assert len(report.files) > 50
+        assert report.clean, "\n" + render_text(
+            report.findings, report.files
+        )
+
+    def test_committed_baseline_is_empty(self):
+        # The tree ships clean: intentional exceptions carry inline
+        # pragmas with justifications, so the baseline stays empty and
+        # the ratchet starts fully tightened.
+        baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+        assert sum(baseline.values()) == 0
