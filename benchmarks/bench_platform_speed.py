@@ -5,16 +5,27 @@ runtimes honest (the full Table VI grid is ~2,900 episodes).  The
 serial-vs-parallel campaign benches measure the executor layer
 (:mod:`repro.core.executor`): on an N-core machine the parallel backend
 should approach Nx the serial episode throughput (>= 2x at ``jobs=4`` on
-4 cores), while returning bit-identical results.
+4 cores), while returning bit-identical results.  The serial-vs-batch
+bench measures the vectorized lockstep engine
+(:mod:`repro.sim.batch_state`) the same way and emits a JSON record of
+both episodes/s figures (set ``REPRO_BENCH_JSON`` to also write it to a
+file) so successive runs form a trajectory.
 """
 
+import json
+import os
 import time
 
 import pytest
 
 from repro.attacks.campaign import CampaignSpec, EpisodeSpec
 from repro.attacks.fi import FaultType
-from repro.core.executor import ParallelExecutor, SerialExecutor, available_cores
+from repro.core.executor import (
+    BatchExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    available_cores,
+)
 from repro.core.experiment import run_campaign
 from repro.core.platform import SimulationPlatform
 from repro.safety.aebs import AebsConfig
@@ -85,13 +96,22 @@ def test_campaign_throughput_parallel(benchmark):
     assert len(campaign.results) == 12
 
 
+#: The >= 2x parallel-speedup bar needs >= 4 *physical* cores, and
+#: ``available_cores()`` counts hyperthreads; 8 available cores is the
+#: conservative proxy (>= 4 physical on SMT-2 hosts) above which the hard
+#: assertion arms.  Below it the bench is report-only so CI stays
+#: portable to small hosts.
+_SPEEDUP_ASSERT_CORES = 8
+
+
 def test_parallel_speedup_report(capsys):
     """Measure and print the serial-vs-parallel speedup directly.
 
-    The >= 2x acceptance bar only arms with >= 4 *available* cores
-    (affinity/cgroup aware; note hyperthreads count, so a 2-physical-core
-    host with SMT may sit near the bar); on smaller machines the bench
-    still verifies bit-identical results and reports the measured ratio.
+    Bit-identity between the backends is asserted on every host; the
+    >= 2x throughput bar cannot hold on < 4 physical cores (the ROADMAP
+    note), so on hosts where ``available_cores()`` reports fewer than
+    ``_SPEEDUP_ASSERT_CORES`` the ratio is reported without being
+    enforced.
     """
     started = time.perf_counter()
     serial = _run_campaign_with(SerialExecutor())
@@ -111,8 +131,74 @@ def test_parallel_speedup_report(capsys):
             f"(serial {serial_s:.2f}s, jobs={jobs} {parallel_s:.2f}s, "
             f"{cores} cores)"
         )
-    if cores >= 4:
+        if cores < _SPEEDUP_ASSERT_CORES:
+            print(
+                f"report-only: available_cores()={cores} < "
+                f"{_SPEEDUP_ASSERT_CORES}, the >= 2x bar is not armed"
+            )
+    if cores >= _SPEEDUP_ASSERT_CORES:
         assert speedup >= 2.0, (
             f"expected >= 2x campaign throughput at jobs=4 on {cores} cores, "
             f"measured {speedup:.2f}x"
         )
+
+
+# --------------------------------------------------------------------- #
+# Campaign dispatch: serial vs batch (vectorized lockstep) throughput
+# --------------------------------------------------------------------- #
+
+#: Batch-width campaign: 96 episodes stepped in lockstep.  The batch
+#: engine amortises NumPy dispatch across lanes, so its advantage grows
+#: with width — a dozen lanes roughly breaks even, campaign-scale widths
+#: pull ahead (see the sim/batch_state module docstring).
+_BATCH_CAMPAIGN = CampaignSpec(
+    fault_types=[FaultType.DESIRED_CURVATURE, FaultType.MIXED],
+    initial_gaps=(60.0,),
+    repetitions=8,
+    seed=2025,
+)
+_BATCH_STEPS = 1000
+
+
+def _run_batch_campaign_with(executor):
+    return run_campaign(
+        _BATCH_CAMPAIGN, _CAMPAIGN_CFG, executor=executor, max_steps=_BATCH_STEPS
+    )
+
+
+def test_batch_speedup_report(capsys):
+    """Serial-vs-batch episodes/s, with a machine-readable JSON record.
+
+    Bit-identity is asserted on every host.  The throughput ratio is
+    report-only (wall-clock on shared CI hosts is noisy); the JSON line —
+    also written to ``$REPRO_BENCH_JSON`` when set — is the durable
+    record that seeds the bench trajectory.
+    """
+    started = time.perf_counter()
+    serial = _run_batch_campaign_with(SerialExecutor())
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batch = _run_batch_campaign_with(BatchExecutor())
+    batch_s = time.perf_counter() - started
+
+    assert batch.results == serial.results  # bit-identical, always
+    episodes = len(serial.results)
+    record = {
+        "bench": "campaign_serial_vs_batch",
+        "episodes": episodes,
+        "max_steps": _BATCH_STEPS,
+        "serial_s": round(serial_s, 3),
+        "batch_s": round(batch_s, 3),
+        "serial_eps_per_s": round(episodes / serial_s, 3),
+        "batch_eps_per_s": round(episodes / batch_s, 3),
+        "speedup": round(serial_s / batch_s, 3),
+        "available_cores": available_cores(),
+    }
+    line = json.dumps(record, sort_keys=True)
+    out_path = os.environ.get("REPRO_BENCH_JSON")
+    if out_path:
+        with open(out_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+    with capsys.disabled():
+        print(f"\n{line}")

@@ -97,6 +97,10 @@ class ReportConfig:
         jobs: worker processes per campaign (None defers to the
             ``REPRO_JOBS`` environment variable, then serial); results are
             bit-identical across worker counts.
+        executor: executor name for every report campaign (``repro report
+            --executor``): ``"serial"``, ``"parallel"``, or ``"batch"``
+            (vectorized lockstep; bit-identical results).  ``None`` defers
+            to ``jobs``.
         cache_dir: campaign result cache directory (None defers to the
             ``REPRO_CACHE_DIR`` environment variable, then no caching).
             Cached campaigns — including the ML arm, keyed by its trainer
@@ -126,6 +130,7 @@ class ReportConfig:
     include_ml: bool = False
     reaction_times: tuple = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5)
     jobs: Optional[int] = None
+    executor: Optional[str] = None
     cache_dir: Optional[str] = None
     resume_dir: Optional[str] = None
     extra_families: tuple = ()
@@ -201,6 +206,7 @@ def _run_report_campaign(
             workdir=config.workdir,
             ml_factory=ml_factory,
             jobs=config.jobs,
+            executor=config.executor,
             cache=cache if cache is not None else False,
             log=config._say,
         )
@@ -214,6 +220,7 @@ def _run_report_campaign(
         interventions,
         ml_factory=ml_factory,
         jobs=config.jobs,
+        executor=config.executor,
         cache=cache if cache is not None else False,
         resume_path=resume_path,
     )

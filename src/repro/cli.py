@@ -148,6 +148,7 @@ from repro.core.cache import (
     verify_cache,
     write_digest_sidecar,
 )
+from repro.core.executor import EXECUTOR_NAMES
 from repro.core.experiment import merge_shards, run_campaign
 from repro.core.scheduler import (
     SchedulerError,
@@ -207,6 +208,18 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for campaign execution "
         "(default: REPRO_JOBS env var, then serial)",
+    )
+
+
+def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_NAMES,
+        default=None,
+        metavar="NAME",
+        help="episode execution backend: 'serial', 'parallel' (--jobs "
+        "pool), or 'batch' (vectorized lockstep, bit-identical results; "
+        "default: serial, or parallel when --jobs > 1)",
     )
 
 
@@ -348,6 +361,7 @@ def _report_config_from_args(args, log=None) -> ReportConfig:
         seed=args.seed,
         include_ml=args.ml,
         jobs=getattr(args, "jobs", None),
+        executor=getattr(args, "executor", None),
         cache_dir=getattr(args, "cache_dir", None),
         resume_dir=getattr(args, "resume", None),
         extra_families=families,
@@ -362,6 +376,7 @@ def _report_config_from_args(args, log=None) -> ReportConfig:
 def _add_grid_persistence_flags(parser: argparse.ArgumentParser) -> None:
     """``--jobs`` / ``--resume DIR`` / ``--cache-dir`` for grid commands."""
     _add_jobs_flag(parser)
+    _add_executor_flag(parser)
     _add_cache_flag(parser)
     parser.add_argument(
         "--resume",
@@ -512,7 +527,7 @@ def _check_shard_name_order(paths) -> Optional[str]:
 
 def _persistence_kwargs(args, campaign, interventions, ml_token=None) -> dict:
     """``run_campaign`` keyword arguments from grid-command flags."""
-    kwargs = {"jobs": args.jobs}
+    kwargs = {"jobs": args.jobs, "executor": getattr(args, "executor", None)}
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir:
         kwargs["cache"] = CampaignCache(cache_dir)
@@ -682,6 +697,7 @@ def _backend_kwargs(args) -> dict:
         "shards": args.shards,
         "workdir": args.workdir,
         "jobs": args.jobs,
+        "executor": getattr(args, "executor", None),
     }
 
 
@@ -744,6 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
         "prefix already records and run only the remainder",
     )
     _add_jobs_flag(camp)
+    _add_executor_flag(camp)
     _add_cache_flag(camp)
     _add_backend_flags(camp)
     _add_dispatch_tuning_flags(camp)
@@ -761,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="merged campaign JSONL path (default: dispatch.jsonl)",
     )
     _add_jobs_flag(dis)
+    _add_executor_flag(dis)
     _add_cache_flag(dis)
     _add_backend_flags(dis, default_backend="subprocess")
     _add_dispatch_tuning_flags(dis)
@@ -777,6 +795,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(repro.core.scheduler.write_job_spec)",
     )
     _add_jobs_flag(wk)
+    _add_executor_flag(wk)
 
     ca = sub.add_parser(
         "cache",
@@ -1084,6 +1103,7 @@ def _run(args) -> int:
             episodes,
             cfg,
             jobs=args.jobs,
+            executor=args.executor,
             cache=cache,
             resume_path=output if args.resume else None,
             progress=progress if episodes else None,
@@ -1126,6 +1146,7 @@ def _run(args) -> int:
             job.interventions,
             ml_factory=ml_factory,
             jobs=args.jobs,
+            executor=args.executor,
             resume_path=job.output,
             # Cache policy belongs to the scheduler, which resolved it (env
             # included) at dispatch time: a null cache_dir means caching is

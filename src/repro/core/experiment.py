@@ -200,7 +200,7 @@ def run_campaign(
     ml_factory: Optional[Callable[[], MlController]] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     jobs: Optional[int] = None,
-    executor: Optional[CampaignExecutor] = None,
+    executor: Union[str, CampaignExecutor, None] = None,
     resume_path: Optional[PathLike] = None,
     cache: Union[CacheBackend, None, bool] = None,
     **platform_kwargs,
@@ -224,7 +224,12 @@ def run_campaign(
         jobs: worker process count; ``None`` defers to the ``REPRO_JOBS``
             environment variable (then serial).  Ignored when ``executor``
             is given.
-        executor: explicit execution backend (overrides ``jobs``).
+        executor: explicit execution backend (overrides ``jobs``) — an
+            :data:`~repro.core.executor.EXECUTOR_NAMES` name
+            (``"serial"``, ``"parallel"``, ``"batch"``) or a ready
+            :class:`~repro.core.executor.CampaignExecutor` instance.
+            ``executor="batch"`` steps all episodes in lockstep through
+            the vectorized batch engine with bit-identical results.
         resume_path: campaign JSONL file to resume into.  An existing file's
             valid prefix (truncated final lines tolerated) is loaded and its
             episodes skipped; only the remainder executes, with completed

@@ -165,6 +165,8 @@ class SimulationPlatform:
         self.trace = EpisodeTrace() if record_trace else None
         self._prev_exec = AdasCommand(0.0, 0.0)
         self._last_commanded_brake = 0.0
+        self._follow_sum = 0.0
+        self._follow_count = 0
 
     # ------------------------------------------------------------------ #
     # Episode execution
@@ -172,6 +174,17 @@ class SimulationPlatform:
 
     def run(self) -> EpisodeResult:
         """Execute the episode and return its measurements."""
+        result = self._begin_episode()
+        for step_index in range(self.max_steps):
+            self._control_phase(step_index, result)
+            self.world.step(self.dt)
+            if self._after_dynamics(step_index, result):
+                break
+        self._finish_episode(result)
+        return result
+
+    def _begin_episode(self) -> EpisodeResult:
+        """Reset per-episode state and return a fresh result record."""
         result = EpisodeResult(
             scenario_id=self.spec.scenario_id,
             initial_gap=self.spec.initial_gap,
@@ -181,26 +194,28 @@ class SimulationPlatform:
         )
         if self.ml_controller is not None:
             self.ml_controller.reset()
-        follow_sum, follow_count = 0.0, 0
+        self._follow_sum, self._follow_count = 0.0, 0
+        return result
 
-        for step_index in range(self.max_steps):
-            aebs_state = self._step(step_index, result)
-            self._accumulate(result, aebs_state)
+    def _after_dynamics(self, step_index: int, result: EpisodeResult) -> bool:
+        """Post-physics bookkeeping; returns True when the episode ends."""
+        aebs_state = self._post_step(step_index, result)
+        self._accumulate(result, aebs_state)
 
-            lead = self.sensor.lead()
-            if (
-                lead is not None
-                and lead.gap < 60.0
-                and abs(lead.relative_speed) < 0.75
-            ):
-                follow_sum += lead.gap
-                follow_count += 1
+        lead = self.sensor.lead()
+        if (
+            lead is not None
+            and lead.gap < 60.0
+            and abs(lead.relative_speed) < 0.75
+        ):
+            self._follow_sum += lead.gap
+            self._follow_count += 1
 
-            accident = self.hazards.update(self.world)
-            result.steps = step_index + 1
-            if accident is not None:
-                break
+        accident = self.hazards.update(self.world)
+        result.steps = step_index + 1
+        return accident is not None
 
+    def _finish_episode(self, result: EpisodeResult) -> None:
         result.duration = result.steps * self.dt
         result.accident = self.hazards.accident
         result.accident_time = self.hazards.accident_time
@@ -208,15 +223,25 @@ class SimulationPlatform:
         result.h2 = self.hazards.h2.occurred
         result.attack_first_activation = self.fi.first_activation
         result.attack_activated = self.fi.first_activation is not None
-        if follow_count > 0:
-            result.following_distance = follow_sum / follow_count
-        return result
+        if self._follow_count > 0:
+            result.following_distance = self._follow_sum / self._follow_count
 
     # ------------------------------------------------------------------ #
     # One control step
     # ------------------------------------------------------------------ #
 
     def _step(self, step_index: int, result: EpisodeResult) -> AebsState:
+        """Control phase + physics + bookkeeping, as one call.
+
+        Kept as the single-step entry point for consumers that interleave
+        their own logic with stepping (e.g. the ML dataset recorder).
+        """
+        self._control_phase(step_index, result)
+        self.world.step(self.dt)
+        return self._post_step(step_index, result)
+
+    def _control_phase(self, step_index: int, result: EpisodeResult) -> None:
+        """Pipeline steps 1-7: sense, inject, decide, actuate (pre-physics)."""
         dt = self.dt
         world = self.world
         ego = world.ego
@@ -278,11 +303,13 @@ class SimulationPlatform:
         ego.apply_controls(
             applied_accel, final.steer, driver_steering=final.driver_steering
         )
+        self._ctrl = (now, perceived, aebs_state, driver_action, ml_recovery, final)
 
-        # 8. Physics.
-        world.step(dt)
+    def _post_step(self, step_index: int, result: EpisodeResult) -> AebsState:
+        """Post-physics bookkeeping for the step staged by ``_control_phase``."""
+        now, perceived, aebs_state, driver_action, ml_recovery, final = self._ctrl
+        dt = self.dt
 
-        # Bookkeeping for metrics/trace.
         self._prev_exec = AdasCommand(final.accel, final.steer)
         result.aeb.record(aebs_state.phase > 0, now, dt)
         result.fcw.record(aebs_state.fcw, now, dt)

@@ -74,6 +74,8 @@ from repro.core.cache import (
     write_digest_sidecar,
 )
 from repro.core.executor import (
+    EXECUTOR_NAMES,
+    resolve_executor,
     CampaignExecutor,
     EpisodeTask,
     available_cores,
@@ -296,7 +298,7 @@ def _cacheable(job_or_plan) -> bool:
 def execute_shard(
     job: ShardJob,
     jobs: Optional[int] = None,
-    executor: Optional[CampaignExecutor] = None,
+    executor: Union[str, CampaignExecutor, None] = None,
     progress: Optional[ProgressCallback] = None,
     resume_path: Optional[PathLike] = None,
     cache: Union[CacheBackend, None, bool] = None,
@@ -314,7 +316,9 @@ def execute_shard(
         jobs: worker process count; ``None`` defers to the ``REPRO_JOBS``
             environment variable (then serial).  Ignored when ``executor``
             is given.
-        executor: explicit execution backend (overrides ``jobs``).
+        executor: explicit execution backend — an
+            :data:`~repro.core.executor.EXECUTOR_NAMES` name such as
+            ``"batch"`` or a ready instance (overrides ``jobs``).
         progress: optional ``(done, total)`` callback over this shard's
             episodes; under resume, ``done`` starts at the number of
             episodes already on disk.
@@ -395,7 +399,7 @@ def execute_shard(
     skipped = len(prior)
     if progress is not None and skipped:
         progress(skipped, total)
-    backend = executor if executor is not None else make_executor(jobs)
+    backend = resolve_executor(executor, jobs)
 
     new: List[EpisodeResult] = []
     if resume_path is None:
@@ -665,9 +669,14 @@ class InProcessBackend(WorkerBackend):
         self,
         workers: Optional[int] = None,
         jobs: Optional[int] = None,
-        executor: Optional[CampaignExecutor] = None,
+        executor: Union[str, CampaignExecutor, None] = None,
     ) -> None:
         self.jobs = jobs if jobs is not None else workers
+        if isinstance(executor, str) and executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{', '.join(EXECUTOR_NAMES)}"
+            )
         self.executor = executor
 
     def run(
@@ -740,7 +749,10 @@ class SubprocessFleetBackend(WorkerBackend):
         python: interpreter for the worker command (default: this one).
         worker_args: extra arguments appended to every worker command.
         max_retries: relaunch budget per shard after the first attempt.
-        poll_interval: seconds between liveness polls of the fleet.
+        poll_interval: seconds between liveness polls of the fleet
+            (must be positive — zero would busy-spin the poll loop).
+        executor: per-worker executor name (``repro worker --executor``),
+            e.g. ``"batch"``.
     """
 
     name = "subprocess"
@@ -753,6 +765,7 @@ class SubprocessFleetBackend(WorkerBackend):
         worker_args: Sequence[str] = (),
         max_retries: int = 2,
         poll_interval: float = 0.05,
+        executor: Optional[str] = None,
     ) -> None:
         if workers is None:
             workers = max(1, min(2, available_cores()))
@@ -760,12 +773,23 @@ class SubprocessFleetBackend(WorkerBackend):
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if poll_interval <= 0.0:
+            raise ValueError(
+                f"poll_interval must be positive (seconds between fleet "
+                f"liveness polls), got {poll_interval}"
+            )
+        if executor is not None and executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{', '.join(EXECUTOR_NAMES)}"
+            )
         self.workers = workers
         self.jobs = jobs
         self.python = python
         self.worker_args = tuple(worker_args)
         self.max_retries = max_retries
         self.poll_interval = poll_interval
+        self.executor = executor
 
     def default_shard_count(self) -> int:
         return self.workers
@@ -782,6 +806,8 @@ class SubprocessFleetBackend(WorkerBackend):
         ]
         if self.jobs is not None:
             command += ["--jobs", str(self.jobs)]
+        if self.executor is not None:
+            command += ["--executor", self.executor]
         command += list(self.worker_args)
         return command
 
@@ -906,13 +932,21 @@ class SubprocessFleetBackend(WorkerBackend):
                             f"{proc.returncode}); see {slot.log_path}"
                         )
         finally:
+            # Teardown must reap every worker it signals: a killed-but-
+            # unreaped child stays a zombie for the life of this process,
+            # and a worker that ignores SIGTERM would otherwise leak
+            # entirely.  Terminate the whole fleet first (this also runs
+            # when one shard exhausts its retry budget and raises above),
+            # then wait; on a hung worker escalate to SIGKILL and reap
+            # that too.
             for proc in running:
                 proc.terminate()
             for proc in running:
                 try:
                     proc.wait(timeout=5)
-                except Exception:
+                except subprocess.TimeoutExpired:
                     proc.kill()
+                    proc.wait()
         return [shard_path(job, workdir) for job in plan.jobs]
 
 
@@ -1100,6 +1134,7 @@ def dispatch_campaign(
     ml_factory: Optional[Callable[[], object]] = None,
     cache: Union[CacheBackend, None, bool] = None,
     jobs: Optional[int] = None,
+    executor: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
     log: Optional[LogCallback] = None,
     **platform_kwargs,
@@ -1132,6 +1167,8 @@ def dispatch_campaign(
             ``REPRO_CACHE_DIR``; ``False`` disables.
         jobs: per-worker executor parallelism forwarded to a by-name
             backend.
+        executor: per-worker executor name (e.g. ``"batch"``) forwarded
+            to a by-name backend.
         progress: ``(done episodes, total)`` callback; fleet backends
             report at shard granularity.
         log: line sink for dispatch narration (worker launches, retries).
@@ -1141,7 +1178,9 @@ def dispatch_campaign(
         The full-campaign :class:`CampaignResult`, in enumeration order.
     """
     if isinstance(backend, str):
-        backend = make_backend(backend, workers=workers, jobs=jobs)
+        backend = make_backend(
+            backend, workers=workers, jobs=jobs, executor=executor
+        )
     plan = CampaignPlan.build(
         campaign,
         interventions,

@@ -1,0 +1,625 @@
+"""Structure-of-arrays batch stepping: N worlds advance in lockstep.
+
+:class:`BatchDynamics` replaces the per-object ``World.step`` hot loop for a
+*batch* of episodes: per control tick it gathers every lane's dynamic state
+(ego bicycle model, powertrain lag, traffic actors) into flat NumPy arrays,
+integrates all lanes with vectorized float64 arithmetic, and scatters the
+state back onto the per-lane objects.  It then pre-computes the pure world
+queries the control stack issues every step — lead selection for each
+sensor corridor, lane-line distances, look-ahead road curvature — for all
+lanes at once and deposits them in each world's ``_step_cache``, which the
+per-lane query methods consult before falling back to their scalar scans.
+
+Everything *else* — traffic behaviours, collision/departure detection, the
+whole perception/control/safety stack — keeps running on the ordinary
+per-lane objects, which is what makes the batch path produce
+**bit-identical** episode results to the serial path:
+
+* behaviours mutate ``actor.accel_cmd`` / ``actor.d_target`` exactly as in
+  ``World.step`` (they run per lane, before the integrate);
+* the vectorized math uses only IEEE-754 elementwise operations
+  (``+ - * / sqrt copysign abs`` and comparisons), which NumPy evaluates
+  bit-identically to the scalar Python expressions they replace;
+* transcendentals (``tan``/``sin``/``cos``) are **not** IEEE-pinned across
+  libm and SIMD implementations, so they stay per-lane ``math`` calls;
+* branch constructs (``clamp``, ``rate_limit``, guarded ``sqrt``,
+  ``interp1d``, the lead-selection scan) are replicated with ``np.where``
+  selections that preserve the exact branch semantics, including
+  signed-zero behaviour and first/best-match ordering;
+* collision / departure detection calls the world's own detectors, so
+  event construction and latch ordering cannot drift.
+
+The speedup comes from amortising Python bytecode and function-call
+overhead of the per-step float math and world queries across all lanes at
+once; see ``benchmarks/bench_platform_speed.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.sensors import HUMAN_CORRIDOR, RADAR_CORRIDOR
+from repro.sim.world import World
+from repro.utils.units import G
+
+#: Default ``max_range`` of :meth:`World.lead_actor` (hazard monitors and
+#: ``lead_gap`` call it with no arguments).
+_LEAD_RANGE_DEFAULT = 250.0
+
+
+def _np_clamp(value, lo, hi):
+    """Vectorized ``mathx.clamp`` (identical branch semantics)."""
+    return np.where(value < lo, lo, np.where(value > hi, hi, value))
+
+
+def _np_rate_limit(current, target, max_delta):
+    """Vectorized ``mathx.rate_limit`` (identical branch semantics)."""
+    delta = target - current
+    return np.where(
+        delta > max_delta,
+        current + max_delta,
+        np.where(delta < -max_delta, current - max_delta, target),
+    )
+
+
+def _np_sqrt_pos(value):
+    """Vectorized ``math.sqrt(v) if v > 0.0 else 0.0``."""
+    return np.sqrt(np.where(value > 0.0, value, 0.0))
+
+
+class BatchDynamics:
+    """Lockstep integrator for a fixed set of worlds.
+
+    Args:
+        worlds: the per-episode worlds.  Their parameter tables (vehicle,
+            powertrain, road geometry, friction) are frozen into arrays at
+            construction; per-step state is gathered/scattered on every
+            :meth:`step`, so lanes may be stepped in any active subset.
+        curvature_lookaheads: per-lane perception curvature look-ahead [m];
+            when given, the look-ahead curvature query is pre-computed per
+            step (``GroundTruthSensor.road_curvature`` picks it up from the
+            step cache).
+        lead_max_ranges: per-lane sensor ``max_range`` [m]; extends the
+            pre-computed lead queries beyond the world default.
+        radar_leads: also pre-compute the independent-radar lead corridor
+            (an AEBS INDEPENDENT arm is present).
+        human_leads: also pre-compute the human-vision lead corridor (a
+            driver model is present).
+
+    Raises:
+        ValueError: on an empty batch or a non-positive friction ``mu``
+            (the same condition ``EgoVehicle.step`` rejects).
+    """
+
+    def __init__(
+        self,
+        worlds: Sequence[World],
+        *,
+        curvature_lookaheads: Optional[Sequence[float]] = None,
+        lead_max_ranges: Optional[Sequence[float]] = None,
+        radar_leads: bool = False,
+        human_leads: bool = False,
+    ) -> None:
+        if not worlds:
+            raise ValueError("BatchDynamics needs at least one world")
+        self.worlds: List[World] = list(worlds)
+        for world in self.worlds:
+            if world.friction.mu <= 0.0:
+                raise ValueError(f"mu must be positive, got {world.friction.mu}")
+        egos = [w.ego for w in self.worlds]
+        n = len(egos)
+
+        self._mu = np.array([w.friction.mu for w in self.worlds])
+        self._wheelbase = np.array([e.params.wheelbase for e in egos])
+        self._adas_rate = np.array([e.params.adas_steer_rate for e in egos])
+        self._driver_rate = np.array([e.params.driver_steer_rate for e in egos])
+        self._lat_frac = np.array([e.params.lateral_friction_fraction for e in egos])
+        self._emergency_decel = np.array([e.EMERGENCY_BRAKE_DECEL for e in egos])
+        self._ego_half_len = np.array([0.5 * e.params.length for e in egos])
+        self._ego_half_wid = np.array([0.5 * e.params.width for e in egos])
+
+        pt = [e.powertrain.params for e in egos]
+        knot_count = max(len(p.engine_speed_knots) for p in pt)
+        # Knot tables are padded to a shared width: +inf speeds with the
+        # last acceleration value repeated, which is exactly the clamped
+        # out-of-range behaviour of ``mathx.interp1d``.
+        eng_xs = np.full((n, knot_count), np.inf)
+        eng_ys = np.zeros((n, knot_count))
+        for i, params in enumerate(pt):
+            k = len(params.engine_speed_knots)
+            eng_xs[i, :k] = params.engine_speed_knots
+            eng_ys[i, :k] = params.engine_accel_knots
+            eng_ys[i, k:] = params.engine_accel_knots[-1]
+        self._eng_xs = eng_xs
+        self._eng_ys = eng_ys
+        self._eng_x_last = np.array([p.engine_speed_knots[-1] for p in pt])
+        self._eng_y_last = np.array([p.engine_accel_knots[-1] for p in pt])
+        self._max_brake = np.array([p.max_brake_decel for p in pt])
+        self._brake_lag = np.array([p.brake_lag for p in pt])
+        self._roll_res = np.array([p.rolling_resistance for p in pt])
+        self._drag_coef = np.array([p.drag_coefficient for p in pt])
+
+        roads = [w.road for w in self.worlds]
+        seg_count = max(len(r.segments) for r in roads)
+        # Segment-start tables padded with +inf so padded columns never
+        # match the ``start <= s`` count used to replicate bisect_right.
+        starts = np.full((n, seg_count), np.inf)
+        curv = np.zeros((n, seg_count))
+        for i, road in enumerate(roads):
+            k = len(road.segments)
+            starts[i, :k] = road._starts
+            curv[i, :k] = [seg.curvature for seg in road.segments]
+            curv[i, k:] = road.segments[-1].curvature
+        self._seg_starts = starts
+        self._seg_curv = curv
+        self._seg_n = np.array([len(r.segments) for r in roads])
+        self._road_len = np.array([r.length for r in roads])
+        self._lane_width = np.array([r.lane_width for r in roads])
+        self._max_lane = np.array([float(r.num_lanes - 1) for r in roads])
+
+        # Traffic actor slots (agent lists are fixed after scenario build).
+        self._actors_by_lane = [[b.actor for b in w.agents] for w in self.worlds]
+        self._slot_len_by_lane = [
+            [a.params.length for a in actors] for actors in self._actors_by_lane
+        ]
+
+        # Lead-query configurations to pre-compute each step, as per-lane
+        # (max_range, corridor) pairs.  Deduplicated so the common case
+        # (sensor max_range == world default) costs one scan.
+        corr_default = np.array([float(w.LEAD_CORRIDOR) for w in self.worlds])
+        range_default = np.full(n, _LEAD_RANGE_DEFAULT)
+        configs = [(range_default, corr_default)]
+
+        def _add_config(mr: np.ndarray, corr: np.ndarray) -> None:
+            for have_mr, have_corr in configs:
+                if np.array_equal(have_mr, mr) and np.array_equal(have_corr, corr):
+                    return
+            configs.append((mr, corr))
+
+        sensor_range = range_default
+        if lead_max_ranges is not None:
+            sensor_range = np.array([float(v) for v in lead_max_ranges])
+            _add_config(sensor_range, corr_default)
+        if radar_leads:
+            _add_config(sensor_range, np.full(n, RADAR_CORRIDOR))
+        if human_leads:
+            _add_config(sensor_range, np.full(n, HUMAN_CORRIDOR))
+        self._lead_configs = [
+            (mr, corr, [("lead", mr_i, corr_i) for mr_i, corr_i in zip(mr.tolist(), corr.tolist())])
+            for mr, corr in configs
+        ]
+
+        self._curv_la = (
+            np.array([float(v) for v in curvature_lookaheads])
+            if curvature_lookaheads is not None
+            else None
+        )
+
+        self._bound_key: Optional[tuple] = None
+        self._bound: Optional[SimpleNamespace] = None
+
+    # ------------------------------------------------------------------ #
+    # Active-set binding (constant tables gathered per active subset)
+    # ------------------------------------------------------------------ #
+
+    def _bind(self, lanes: Sequence[int]) -> SimpleNamespace:
+        """Gather constant tables for an active-lane subset (memoized).
+
+        The active set only changes when a lane finishes, so the fancy
+        indexing here runs a handful of times per campaign instead of once
+        per step.
+        """
+        key = tuple(lanes)
+        if key == self._bound_key and self._bound is not None:
+            return self._bound
+        idx = np.asarray(key, dtype=np.intp)
+        b = SimpleNamespace()
+        b.worlds = [self.worlds[i] for i in key]
+        b.egos = [w.ego for w in b.worlds]
+        b.mu_g = self._mu[idx] * G
+        b.wheelbase = self._wheelbase[idx]
+        b.adas_rate = self._adas_rate[idx]
+        b.driver_rate = self._driver_rate[idx]
+        b.lat_frac = self._lat_frac[idx]
+        b.emergency_decel = self._emergency_decel[idx]
+        b.ego_half_len = self._ego_half_len[idx]
+        b.ego_half_wid = self._ego_half_wid[idx]
+        b.eng_xs = self._eng_xs[idx]
+        b.eng_ys = self._eng_ys[idx]
+        b.eng_x_last = self._eng_x_last[idx]
+        b.eng_y_last = self._eng_y_last[idx]
+        b.max_brake = self._max_brake[idx]
+        b.brake_lag = self._brake_lag[idx]
+        b.roll_res = self._roll_res[idx]
+        b.drag_coef = self._drag_coef[idx]
+        b.seg_starts = self._seg_starts[idx]
+        b.seg_curv = self._seg_curv[idx]
+        b.seg_curv_flat = b.seg_curv.ravel()
+        b.seg_row_offset = np.arange(len(key), dtype=np.intp) * b.seg_curv.shape[1]
+        b.seg_last = self._seg_n[idx] - 1
+        b.road_len = self._road_len[idx]
+        b.lane_width = self._lane_width[idx]
+        b.half_lane = 0.5 * b.lane_width
+        b.max_lane = self._max_lane[idx]
+
+        # Flat actor layout + padded slot tables for the lead queries.
+        b.actors = []
+        lane_pos: List[int] = []
+        flat_lane: List[int] = []
+        flat_slot: List[int] = []
+        for j, i in enumerate(key):
+            for slot, actor in enumerate(self._actors_by_lane[i]):
+                b.actors.append(actor)
+                lane_pos.append(j)
+                flat_lane.append(j)
+                flat_slot.append(slot)
+        n_active = len(key)
+        b.max_slots = max(
+            (len(self._actors_by_lane[i]) for i in key), default=0
+        )
+        b.max_slots = max(b.max_slots, 0)
+        b.flat_lane = np.asarray(flat_lane, dtype=np.intp)
+        b.flat_slot = np.asarray(flat_slot, dtype=np.intp)
+        b.actor_limit = b.mu_g[np.asarray(lane_pos, dtype=np.intp)]
+        b.valid = np.zeros((n_active, b.max_slots), dtype=bool)
+        b.slot_len = np.zeros((n_active, b.max_slots))
+        b.slot_wid = np.zeros((n_active, b.max_slots))
+        if b.actors:
+            b.valid[b.flat_lane, b.flat_slot] = True
+            b.slot_len[b.flat_lane, b.flat_slot] = [
+                a.params.length for a in b.actors
+            ]
+            b.slot_wid[b.flat_lane, b.flat_slot] = [
+                a.params.width for a in b.actors
+            ]
+        b.slot_half_len = 0.5 * b.slot_len
+        b.slot_half_wid = 0.5 * b.slot_wid
+        b.agents_by_lane = [self._actors_by_lane[i] for i in key]
+        b.actor_rate = np.array([a.lane_change_rate for a in b.actors])
+
+        # Departure-test bounds, pre-combined with the per-world margin
+        # using the same arithmetic as ``World._detect_departure``.
+        lane0 = [w.road.lane_bounds(0) for w in b.worlds]
+        roadb = [w.road.road_bounds() for w in b.worlds]
+        margin = np.array([w.OFF_LANE_MARGIN for w in b.worlds])
+        b.off_lane_lo = np.array([bounds[0] for bounds in lane0]) - margin
+        b.off_lane_hi = np.array([bounds[1] for bounds in lane0]) + margin
+        b.road_right = np.array([bounds[0] for bounds in roadb])
+        b.road_left = np.array([bounds[1] for bounds in roadb])
+
+        # Detection latches mirroring each world's flags: once a lane has a
+        # collision / both departure flags, its scalar detector would
+        # short-circuit or be idempotent, so the batch test skips it.
+        b.coll_open = np.array([w.collision is None for w in b.worlds])
+        b.off_lane_latch = np.array([w.off_lane for w in b.worlds])
+        b.off_road_latch = np.array([w.off_road for w in b.worlds])
+
+        # Persistent dynamic-state arrays.  These fields are written *only*
+        # by the integrate (the control stack mutates the command fields,
+        # gathered fresh each step), so within one binding they stay
+        # authoritative and the per-step gather shrinks to the commands.
+        b.steer = np.array([e.steer for e in b.egos])
+        b.speed = np.array([e.speed for e in b.egos])
+        b.s = np.array([e.s for e in b.egos])
+        b.d = np.array([e.d for e in b.egos])
+        b.psi = np.array([e.psi for e in b.egos])
+        b.brake_decel = np.array([e.powertrain._brake_decel for e in b.egos])
+        b.a_speed = np.array([a.speed for a in b.actors])
+        b.a_s = np.array([a.s for a in b.actors])
+        b.a_d = np.array([a.d for a in b.actors])
+
+        b.lead_configs = [
+            (mr[idx], corr[idx], [keys[i] for i in key])
+            for mr, corr, keys in self._lead_configs
+        ]
+        if self._curv_la is not None:
+            b.curv_la = self._curv_la[idx]
+            b.curv_keys = [("curvature_ahead", la) for la in b.curv_la.tolist()]
+        else:
+            b.curv_la = None
+            b.curv_keys = None
+
+        self._bound_key = key
+        self._bound = b
+        return b
+
+    # ------------------------------------------------------------------ #
+    # Vectorized lookups
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _engine_accel(b: SimpleNamespace, speed: np.ndarray) -> np.ndarray:
+        """``Powertrain.max_engine_accel`` for each active lane.
+
+        Replicates ``mathx.interp1d`` exactly: boundary clamp first, then
+        first-match segment selection with the same ``t = (x-x0)/(x1-x0)``
+        arithmetic.
+        """
+        xs, ys = b.eng_xs, b.eng_ys
+        out = b.eng_y_last.copy()
+        done = speed >= b.eng_x_last
+        low = ~done & (speed <= xs[:, 0])
+        out = np.where(low, ys[:, 0], out)
+        done |= low
+        with np.errstate(invalid="ignore"):
+            for i in range(1, xs.shape[1]):
+                seg = ~done & (speed <= xs[:, i])
+                x0, x1 = xs[:, i - 1], xs[:, i]
+                y0, y1 = ys[:, i - 1], ys[:, i]
+                t = (speed - x0) / (x1 - x0)
+                out = np.where(seg, y0 + t * (y1 - y0), out)
+                done |= seg
+        return out
+
+    @staticmethod
+    def _curvature(b: SimpleNamespace, s: np.ndarray) -> np.ndarray:
+        """``Road.curvature_at`` for each active lane.
+
+        ``bisect_right(starts, s) - 1`` equals the count of segment starts
+        ``<= s`` minus one; the boundary overrides replicate
+        ``segment_index_at``'s clamping.
+        """
+        seg_idx = np.sum(b.seg_starts <= s[:, None], axis=1) - 1
+        seg_idx = np.where(s <= 0.0, 0, seg_idx)
+        seg_idx = np.where(s >= b.road_len, b.seg_last, seg_idx)
+        return b.seg_curv_flat[seg_idx + b.seg_row_offset]
+
+    # ------------------------------------------------------------------ #
+    # Lockstep advance
+    # ------------------------------------------------------------------ #
+
+    def step(self, lanes: Sequence[int], dt: float) -> None:
+        """Advance the given lanes by ``dt`` (the batch ``World.step``).
+
+        Order per lane is identical to ``World.step``: behaviours, ego
+        integrate, actor integrate, time advance, collision detection,
+        departure detection — then the step-cache populate.
+        """
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        b = self._bind(lanes)
+
+        # Behaviours run per lane *before* the integrate (they set the
+        # actor commands the integrate consumes), exactly as World.step.
+        for world in b.worlds:
+            for binding in world.agents:
+                binding.update(world.ego, world.time)
+
+        egos = b.egos
+
+        # -------- gather command state -------------------------------- #
+        # Only the fields the control stack mutates between steps; the
+        # dynamic state lives in the binding's persistent arrays.
+        cmd = np.array([(e._steer_cmd, e._accel_cmd) for e in egos])
+        steer_cmd = cmd[:, 0]
+        accel_cmd = cmd[:, 1]
+        steer = b.steer
+        speed = b.speed
+        s = b.s
+        d = b.d
+        psi = b.psi
+        brake_decel = b.brake_decel
+        driver_steering = np.array(
+            [getattr(e, "_driver_steering", False) for e in egos]
+        )
+
+        mu_g = b.mu_g
+
+        # -------- EgoVehicle.step, vectorized ------------------------- #
+        steer_rate = np.where(driver_steering, b.driver_rate, b.adas_rate)
+        steer = _np_rate_limit(steer, steer_cmd, steer_rate * dt)
+
+        tan_steer = np.array([math.tan(v) for v in steer.tolist()])
+        kappa_vehicle = tan_steer / b.wheelbase
+        lat_demand = speed * speed * np.abs(kappa_vehicle)
+        emergency = accel_cmd <= -b.emergency_decel
+        brake_demand = np.minimum(-accel_cmd, mu_g * 0.97)
+        lat_budget_sq = mu_g * mu_g - brake_demand * brake_demand
+        lat_max = np.where(
+            emergency, _np_sqrt_pos(lat_budget_sq), mu_g * b.lat_frac
+        )
+        understeer = (lat_demand > lat_max) & (speed > 0.1)
+        denom_sq = np.where(understeer, speed * speed, 1.0)
+        kappa_eff = np.where(
+            understeer,
+            np.copysign(lat_max / denom_sq, kappa_vehicle),
+            kappa_vehicle,
+        )
+        lat_used = np.where(understeer, lat_max, lat_demand)
+
+        # Powertrain.actuate.
+        positive = accel_cmd >= 0.0
+        engine = np.where(
+            positive, np.minimum(accel_cmd, self._engine_accel(b, speed)), 0.0
+        )
+        target_brake = np.where(
+            positive, 0.0, _np_clamp(-accel_cmd, 0.0, b.max_brake)
+        )
+        lag = np.where(target_brake > brake_decel, b.brake_lag, 0.5 * b.brake_lag)
+        alpha = dt / (lag + dt)
+        brake_decel = brake_decel + alpha * (target_brake - brake_decel)
+        drag = b.roll_res + b.drag_coef * speed * speed
+        drag = np.where((speed <= 0.01) & (engine <= 0.0), 0.0, drag)
+        achieved = engine - brake_decel - drag
+
+        # Friction circle on the longitudinal channel.
+        long_budget_sq = mu_g * mu_g - lat_used * lat_used
+        long_max = _np_sqrt_pos(long_budget_sq)
+        hi = np.where(0.0 > long_max, 0.0, long_max)  # max(long_max, 0.0)
+        achieved = _np_clamp(achieved, -long_max, hi)
+
+        # Frenet integrate (semi-implicit Euler on speed).
+        speed_next = speed + achieved * dt
+        speed = np.where(speed_next > 0.0, speed_next, 0.0)
+        k_road = self._curvature(b, s)
+        denom = 1.0 - d * k_road
+        denom = np.where(denom < 0.2, 0.2, denom)
+        cos_psi = np.array([math.cos(v) for v in psi.tolist()])
+        sin_psi = np.array([math.sin(v) for v in psi.tolist()])
+        s_dot = speed * cos_psi / denom
+        d_dot = speed * sin_psi
+        psi_dot = speed * kappa_eff - k_road * s_dot
+        s = s + s_dot * dt
+        d = d + d_dot * dt
+        psi = _np_clamp(psi + psi_dot * dt, -1.2, 1.2)
+
+        b.steer = steer
+        b.speed = speed
+        b.s = s
+        b.d = d
+        b.psi = psi
+        b.brake_decel = brake_decel
+
+        # -------- scatter ego state ----------------------------------- #
+        ego_out = np.stack(
+            (steer, brake_decel, achieved, speed, s, d, psi), axis=1
+        ).tolist()
+        sliding = understeer.tolist()
+        for j, ego in enumerate(egos):
+            row = ego_out[j]
+            ego.steer = row[0]
+            ego.powertrain._brake_decel = row[1]
+            ego.accel = row[2]
+            ego.speed = row[3]
+            ego.s = row[4]
+            ego.d = row[5]
+            ego.psi = row[6]
+            ego.sliding = sliding[j]
+
+        # -------- KinematicActor.step, vectorized (flat over lanes) --- #
+        n_active = len(b.worlds)
+        a_s_pad = np.zeros((n_active, b.max_slots))
+        a_d_pad = np.zeros((n_active, b.max_slots))
+        if b.actors:
+            a_cmd = np.array([(a.accel_cmd, a.d_target) for a in b.actors])
+            a_accel = _np_clamp(a_cmd[:, 0], -b.actor_limit, b.actor_limit)
+            a_next = b.a_speed + a_accel * dt
+            a_speed = np.where(a_next > 0.0, a_next, 0.0)
+            a_s = b.a_s + a_speed * dt
+            a_d = _np_rate_limit(b.a_d, a_cmd[:, 1], b.actor_rate * dt)
+            b.a_speed = a_speed
+            b.a_s = a_s
+            b.a_d = a_d
+
+            a_out = np.stack((a_accel, a_speed, a_s, a_d), axis=1).tolist()
+            for j, actor in enumerate(b.actors):
+                row = a_out[j]
+                actor.accel = row[0]
+                actor.speed = row[1]
+                actor.s = row[2]
+                actor.d = row[3]
+            a_s_pad[b.flat_lane, b.flat_slot] = a_s
+            a_d_pad[b.flat_lane, b.flat_slot] = a_d
+
+        # -------- time advance ---------------------------------------- #
+        for world in b.worlds:
+            world.time += dt
+
+        # -------- detection (vectorized test, scalar event path) ------ #
+        # The batch evaluates exactly the detectors' comparisons; only
+        # lanes whose test fires (rare) run the world's own detector, so
+        # event construction / first-match ordering cannot drift.
+        overlap = (
+            b.valid
+            & (np.abs(a_s_pad - s[:, None]) < b.ego_half_len[:, None] + b.slot_half_len)
+            & (np.abs(a_d_pad - d[:, None]) < b.ego_half_wid[:, None] + b.slot_half_wid)
+        )
+        collide = b.coll_open & overlap.any(axis=1)
+        for j in np.nonzero(collide)[0]:
+            world = b.worlds[j]
+            world._detect_collision()
+            b.coll_open[j] = world.collision is None
+        off_lane_now = (d < b.off_lane_lo) | (d > b.off_lane_hi)
+        off_road_now = (d + b.ego_half_wid < b.road_right) | (
+            d - b.ego_half_wid > b.road_left
+        )
+        departed = (off_lane_now & ~b.off_lane_latch) | (
+            off_road_now & ~b.off_road_latch
+        )
+        for j in np.nonzero(departed)[0]:
+            world = b.worlds[j]
+            world._detect_departure()
+            b.off_lane_latch[j] = world.off_lane
+            b.off_road_latch[j] = world.off_road
+
+        # -------- step-cache populate (pure queries, post-step) ------- #
+        self._populate_caches(b, s, d, speed, a_s_pad, a_d_pad)
+
+    # ------------------------------------------------------------------ #
+    # Per-step query pre-computation
+    # ------------------------------------------------------------------ #
+
+    def _populate_caches(
+        self,
+        b: SimpleNamespace,
+        s: np.ndarray,
+        d: np.ndarray,
+        speed: np.ndarray,
+        a_s_pad: np.ndarray,
+        a_d_pad: np.ndarray,
+    ) -> None:
+        """Vectorized replicas of the per-step pure world queries.
+
+        Results land in each world's ``_step_cache`` keyed by the exact
+        argument values the scalar call sites pass, stamped with the
+        post-step time; the scalar methods fall back to their own scans on
+        any miss, so the cache is purely an accelerator.
+        """
+        n_active = len(b.worlds)
+
+        # World.lane_line_distances (via Road.nearest_lane/lane_bounds).
+        lane = np.rint(d / b.lane_width)
+        lane = np.where(lane < 0.0, 0.0, np.where(lane > b.max_lane, b.max_lane, lane))
+        center = lane * b.lane_width
+        right = center - b.half_lane
+        left = center + b.half_lane
+        dist_right = ((d - b.ego_half_wid) - right).tolist()
+        dist_left = (left - (d + b.ego_half_wid)).tolist()
+
+        # Road.curvature_ahead at each lane's perception look-ahead.  All
+        # six sample points (the s-anchor plus the five look-ahead probes)
+        # go through one broadcast segment lookup; the accumulation below
+        # keeps the serial loop's left-associative addition order.
+        curv_vals = None
+        if b.curv_la is not None:
+            pts = np.stack([s] + [s + b.curv_la * (i + 0.5) / 5 for i in range(5)])
+            seg_idx = np.sum(b.seg_starts[None] <= pts[..., None], axis=2) - 1
+            seg_idx = np.where(pts <= 0.0, 0, seg_idx)
+            seg_idx = np.where(pts >= b.road_len, b.seg_last, seg_idx)
+            vals = b.seg_curv_flat[seg_idx + b.seg_row_offset]
+            acc = 0.0 + vals[1]  # serial starts from acc = 0.0 (signed zero)
+            for i in range(2, 6):
+                acc = acc + vals[i]
+            curv_vals = np.where(b.curv_la > 0.0, acc / 5, vals[0]).tolist()
+
+        # World.lead_actor for each pre-registered (max_range, corridor).
+        ego_front = s + b.ego_half_len
+        lead_slots = []
+        for max_range, corridor, keys in b.lead_configs:
+            best_slot = np.full(n_active, -1, dtype=np.intp)
+            best_gap = max_range.copy()
+            for j in range(b.max_slots):
+                gap = (a_s_pad[:, j] - b.slot_half_len[:, j]) - ego_front
+                sel = (
+                    b.valid[:, j]
+                    & ~(np.abs(a_d_pad[:, j] - d) > corridor)
+                    & (gap > -b.slot_len[:, j])
+                    & (gap < best_gap)
+                )
+                best_slot = np.where(sel, j, best_slot)
+                best_gap = np.where(sel, np.where(gap > 0.0, gap, 0.0), best_gap)
+            lead_slots.append((keys, best_slot.tolist()))
+
+        for j, world in enumerate(b.worlds):
+            cache = {"time": world.time, "lld": (dist_right[j], dist_left[j])}
+            if curv_vals is not None:
+                cache[b.curv_keys[j]] = curv_vals[j]
+            actors = b.agents_by_lane[j]
+            for keys, slots in lead_slots:
+                slot = slots[j]
+                cache[keys[j]] = actors[slot] if slot >= 0 else None
+            world._step_cache = cache

@@ -18,6 +18,14 @@ from typing import Optional
 
 from repro.sim.world import World
 
+#: Lateral half-width [m] of the independent AEBS radar's tracking
+#: corridor (see :meth:`GroundTruthSensor.radar_lead`).
+RADAR_CORRIDOR = 3.5
+
+#: Lateral half-width [m] of the human driver's visual lead corridor
+#: (see :meth:`GroundTruthSensor.lead_human`).
+HUMAN_CORRIDOR = 3.2
+
 
 @dataclass(frozen=True)
 class LeadMeasurement:
@@ -86,7 +94,9 @@ class GroundTruthSensor:
         self._cache_lead = measurement
         return measurement
 
-    def radar_lead(self, corridor: float = 3.5) -> Optional[LeadMeasurement]:
+    def radar_lead(
+        self, corridor: float = RADAR_CORRIDOR
+    ) -> Optional[LeadMeasurement]:
         """The lead as an independent AEBS radar tracks it.
 
         Radar object tracking locks onto the threat vehicle and keeps it
@@ -108,7 +118,9 @@ class GroundTruthSensor:
             lateral_offset=actor.d - self.world.road.lane_center(0),
         )
 
-    def lead_human(self, corridor: float = 3.2) -> Optional[LeadMeasurement]:
+    def lead_human(
+        self, corridor: float = HUMAN_CORRIDOR
+    ) -> Optional[LeadMeasurement]:
         """The lead as a *human driver* sees it (wide visual corridor).
 
         A driver looking through the windshield keeps seeing the vehicle
@@ -155,4 +167,11 @@ class GroundTruthSensor:
 
     def road_curvature(self, lookahead: float = 30.0) -> float:
         """Mean road curvature ahead of the ego [1/m]."""
-        return self.world.road.curvature_ahead(self.world.ego.s, lookahead)
+        world = self.world
+        cache = world._step_cache
+        if cache is not None and cache["time"] == world.time:
+            try:
+                return cache[("curvature_ahead", lookahead)]
+            except KeyError:
+                pass
+        return world.road.curvature_ahead(world.ego.s, lookahead)

@@ -59,6 +59,11 @@ class World:
         self.collision: Optional[CollisionEvent] = None
         self.off_lane = False
         self.off_road = False
+        #: Per-step query cache, populated only by the batch engine
+        #: (``repro.sim.batch_state``); stays ``None`` on the serial path.
+        #: Entries are keyed by the exact query arguments and stamped with
+        #: the world time they were computed at.
+        self._step_cache: Optional[dict] = None
 
     def add_agent(self, binding: AgentBinding) -> None:
         """Register a traffic actor."""
@@ -161,6 +166,14 @@ class World:
         ego = self.ego
         if corridor is None:
             corridor = self.LEAD_CORRIDOR
+        cache = self._step_cache
+        if cache is not None and cache["time"] == self.time:
+            try:
+                # ``None`` (no lead) is a legitimate cached value, so the
+                # probe distinguishes a miss via KeyError, not a sentinel.
+                return cache[("lead", max_range, corridor)]
+            except KeyError:
+                pass
         best: Optional[KinematicActor] = None
         best_gap = max_range
         for binding in self.agents:
@@ -191,6 +204,9 @@ class World:
         adjacent lane is measured against that lane's lines, as a
         camera-based lane detector would report.
         """
+        cache = self._step_cache
+        if cache is not None and cache["time"] == self.time:
+            return cache["lld"]
         lane = self.road.nearest_lane(self.ego.d)
         right, left = self.road.lane_bounds(lane)
         half_wid = 0.5 * self.ego.params.width

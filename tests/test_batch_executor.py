@@ -1,0 +1,141 @@
+"""Batch (vectorized lockstep) executor tests.
+
+The contract under test is the one the golden-digest suite cannot see:
+``executor="batch"`` must produce byte-identical episode results — and
+therefore identical aggregate metrics — to the serial reference for
+every registered scenario family, every fault mode, and any lane width,
+while :func:`resolve_executor` keeps the name-based selection honest.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.campaign import CampaignSpec
+from repro.attacks.fi import FaultType
+from repro.core.executor import (
+    EXECUTOR_NAMES,
+    BatchExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
+from repro.core.experiment import run_campaign
+from repro.core.metrics import aggregate
+from repro.safety.aebs import AebsConfig
+from repro.safety.arbitration import InterventionConfig
+from repro.sim.families import registered_families
+
+#: The widest intervention stack: driver + safety check + independent
+#: AEB exercises every sensor corridor the batch engine pre-computes
+#: (default, radar, human) plus the perception/curvature cache.
+FULL_CFG = InterventionConfig(
+    driver=True, safety_check=True, aeb=AebsConfig.INDEPENDENT
+)
+
+
+def _family_spec(family, fault, seed, repetitions=2):
+    return CampaignSpec(
+        scenario_ids=(family,),
+        fault_types=[fault],
+        initial_gaps=(60.0,),
+        repetitions=repetitions,
+        seed=seed,
+    )
+
+
+def _run_pair(spec, cfg, max_steps):
+    serial = run_campaign(
+        spec, cfg, executor="serial", cache=False, max_steps=max_steps
+    )
+    batch = run_campaign(
+        spec, cfg, executor="batch", cache=False, max_steps=max_steps
+    )
+    return serial, batch
+
+
+class TestBatchSerialEquivalence:
+    @pytest.mark.parametrize("family", registered_families())
+    def test_every_registered_family_bit_identical(self, family):
+        spec = _family_spec(family, FaultType.DESIRED_CURVATURE, seed=404)
+        serial, batch = _run_pair(spec, FULL_CFG, max_steps=400)
+        assert batch.results == serial.results
+        assert batch.intervention == serial.intervention
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        family=st.sampled_from(registered_families()),
+        fault=st.sampled_from(
+            [FaultType.NONE, FaultType.RELATIVE_DISTANCE, FaultType.MIXED]
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_batch_metrics_equal_serial_property(self, family, fault, seed):
+        spec = _family_spec(family, fault, seed)
+        serial, batch = _run_pair(spec, FULL_CFG, max_steps=300)
+        assert batch.results == serial.results
+        assert aggregate(batch.results) == aggregate(serial.results)
+
+    def test_lane_chunking_preserves_results_and_order(self):
+        spec = CampaignSpec(
+            scenario_ids=("S1", "S4"),
+            fault_types=[FaultType.RELATIVE_DISTANCE],
+            initial_gaps=(60.0,),
+            repetitions=2,
+            seed=99,
+        )
+        serial = run_campaign(
+            spec, FULL_CFG, executor="serial", cache=False, max_steps=500
+        )
+        # 4 episodes through uneven lane widths: 1 (degenerate serial-like
+        # lockstep), 3 (uneven final chunk), 100 (single wide chunk).
+        for lanes in (1, 3, 100):
+            batch = run_campaign(
+                spec,
+                FULL_CFG,
+                executor=BatchExecutor(lanes=lanes),
+                cache=False,
+                max_steps=500,
+            )
+            assert batch.results == serial.results, lanes
+
+    def test_minimal_config_also_identical(self):
+        # No driver, no AEB: the no-intervention arm takes different
+        # sensor paths (no radar/human corridors registered).
+        spec = _family_spec("S2", FaultType.NONE, seed=7, repetitions=2)
+        serial, batch = _run_pair(spec, InterventionConfig(), max_steps=400)
+        assert batch.results == serial.results
+
+
+class TestBatchExecutorConstruction:
+    def test_rejects_nonpositive_lanes(self):
+        with pytest.raises(ValueError, match="lanes"):
+            BatchExecutor(lanes=0)
+        with pytest.raises(ValueError, match="lanes"):
+            BatchExecutor(lanes=-4)
+
+    def test_default_lanes_unbounded(self):
+        assert BatchExecutor().lanes is None
+        assert BatchExecutor(lanes=8).lanes == 8
+
+
+class TestResolveExecutor:
+    def test_names_resolve_to_backends(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("parallel", jobs=2), ParallelExecutor)
+        assert isinstance(resolve_executor("batch"), BatchExecutor)
+
+    def test_none_defers_to_jobs(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor(None, jobs=3), ParallelExecutor)
+
+    def test_instance_passes_through(self):
+        backend = BatchExecutor(lanes=4)
+        assert resolve_executor(backend) is backend
+
+    def test_unknown_name_lists_valid_names(self):
+        with pytest.raises(ValueError, match="serial.*parallel.*batch"):
+            resolve_executor("warp")
+
+    def test_names_registry(self):
+        assert EXECUTOR_NAMES == ("serial", "parallel", "batch")

@@ -12,7 +12,9 @@ write-through).
 from __future__ import annotations
 
 import os
+import signal
 import subprocess
+import sys
 import time
 
 import pytest
@@ -544,6 +546,81 @@ class TestCrashRecovery:
         )
         assert again.results == serial.results
         assert {p: os.path.getmtime(p) for p in watched} == before
+
+
+class TestFleetConstruction:
+    def test_rejects_nonpositive_poll_interval(self):
+        with pytest.raises(ValueError, match="poll_interval"):
+            SubprocessFleetBackend(poll_interval=0.0)
+        with pytest.raises(ValueError, match="poll_interval"):
+            SubprocessFleetBackend(poll_interval=-0.5)
+
+    def test_rejects_unknown_executor_name(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            SubprocessFleetBackend(executor="warp")
+        with pytest.raises(ValueError, match="unknown executor"):
+            InProcessBackend(executor="warp")
+
+    def test_worker_command_carries_executor_flag(self):
+        fleet = SubprocessFleetBackend(executor="batch")
+        command = fleet.worker_command("shard.spec.json")
+        assert command[-2:] == ["--executor", "batch"]
+        # Unset stays unset: workers fall back to their own default.
+        assert "--executor" not in SubprocessFleetBackend().worker_command(
+            "shard.spec.json"
+        )
+
+
+class TestFleetTeardown:
+    def test_hung_worker_is_killed_and_reaped(self, tmp_path, monkeypatch):
+        """Exhausting one shard's retry budget must tear down the rest of
+        the fleet — including a worker that ignores SIGTERM, which has to
+        be escalated to SIGKILL and then *reaped* (no zombie children)."""
+        backend = SubprocessFleetBackend(workers=2, max_retries=0)
+        sentinel = str(tmp_path / "hang-worker-ready")
+        # Worker 2 installs a SIGTERM-ignore, signals readiness via the
+        # sentinel file, and hangs; worker 1 waits for that sentinel (so
+        # the teardown races nothing) and then fails its shard.
+        hang_cmd = [
+            sys.executable,
+            "-c",
+            "import signal, sys, time\n"
+            "signal.signal(signal.SIGTERM, signal.SIG_IGN)\n"
+            "open(sys.argv[1], 'w').close()\n"
+            "time.sleep(600)\n",
+            sentinel,
+        ]
+        fail_cmd = [
+            sys.executable,
+            "-c",
+            "import os, sys, time\n"
+            "while not os.path.exists(sys.argv[1]):\n"
+            "    time.sleep(0.02)\n"
+            "sys.exit(1)\n",
+            sentinel,
+        ]
+        commands = iter([fail_cmd, hang_cmd])
+        monkeypatch.setattr(
+            backend, "worker_command", lambda spec_path: next(commands)
+        )
+        spawned = []
+        real_popen = subprocess.Popen
+
+        def recording_popen(*args, **kwargs):
+            proc = real_popen(*args, **kwargs)
+            spawned.append(proc)
+            return proc
+
+        monkeypatch.setattr(subprocess, "Popen", recording_popen)
+        with pytest.raises(SchedulerError, match="after 1 attempts"):
+            backend.run(small_plan(2), str(tmp_path))
+
+        assert len(spawned) == 2
+        # Every child is reaped: a poll() after teardown sees the recorded
+        # returncode, never None (zombie) — and the hung worker's exit
+        # status proves the SIGKILL escalation actually fired.
+        assert [p.poll() is not None for p in spawned] == [True, True]
+        assert spawned[1].returncode == -signal.SIGKILL
 
 
 # --------------------------------------------------------------------- #
