@@ -166,13 +166,22 @@ def _run_batch_campaign_with(executor):
     )
 
 
+#: Unlike the process-pool bar above, the batch speedup is algorithmic —
+#: NumPy dispatch amortised across 96 lanes on a *single* core — so it
+#: does not need physical parallelism to hold.  It arms on any host with
+#: at least 2 available cores; a 1-core report means an overcommitted /
+#: throttled container where wall-clock ratios are not trustworthy, so
+#: the bench stays report-only there.
+_BATCH_ASSERT_CORES = 2
+
+
 def test_batch_speedup_report(capsys):
     """Serial-vs-batch episodes/s, with a machine-readable JSON record.
 
-    Bit-identity is asserted on every host.  The throughput ratio is
-    report-only (wall-clock on shared CI hosts is noisy); the JSON line —
-    also written to ``$REPRO_BENCH_JSON`` when set — is the durable
-    record that seeds the bench trajectory.
+    Bit-identity is asserted on every host.  The >= 2x throughput bar is
+    enforced wherever ``available_cores() >= _BATCH_ASSERT_CORES``; the
+    JSON line — also written to ``$REPRO_BENCH_JSON`` when set — is the
+    durable record that seeds the bench trajectory.
     """
     started = time.perf_counter()
     serial = _run_batch_campaign_with(SerialExecutor())
@@ -200,5 +209,17 @@ def test_batch_speedup_report(capsys):
     if out_path:
         with open(out_path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
+    cores = record["available_cores"]
+    speedup = serial_s / batch_s if batch_s > 0 else float("inf")
     with capsys.disabled():
         print(f"\n{line}")
+        if cores < _BATCH_ASSERT_CORES:
+            print(
+                f"report-only: available_cores()={cores} < "
+                f"{_BATCH_ASSERT_CORES}, the >= 2x batch bar is not armed"
+            )
+    if cores >= _BATCH_ASSERT_CORES:
+        assert speedup >= 2.0, (
+            f"expected >= 2x batch throughput at {episodes} lanes "
+            f"({cores} cores), measured {speedup:.2f}x"
+        )

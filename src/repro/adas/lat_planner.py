@@ -16,7 +16,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.utils.mathx import clamp
+from repro.utils.npmath import np_clamp
 
 
 @dataclass(frozen=True)
@@ -64,3 +67,25 @@ class LatPlanner:
         self._curvature += alpha * (desired_curvature - self._curvature)
         steer = math.atan(p.wheelbase * self._curvature)
         return clamp(steer, -p.max_steer, p.max_steer)
+
+
+def lat_plan_arrays(
+    curvature: np.ndarray,
+    desired_curvature: np.ndarray,
+    dt: float,
+    smoothing: np.ndarray,
+    wheelbase: np.ndarray,
+    max_steer: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :meth:`LatPlanner.plan`, bit-exact per lane.
+
+    ``curvature`` is the smoothing state entering the step; returns
+    ``(steer_command, curvature_next)``.  ``atan`` stays a per-lane
+    :mod:`math` call — libm transcendentals are the only operations NumPy
+    does not guarantee bit-identical elementwise.
+    """
+    alpha = dt / (smoothing + dt)
+    curv_next = curvature + alpha * (desired_curvature - curvature)
+    product = wheelbase * curv_next
+    steer = np.array([math.atan(v) for v in product.tolist()])
+    return np_clamp(steer, -max_steer, max_steer), curv_next

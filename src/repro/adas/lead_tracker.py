@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.adas.perception import PerceptionOutput
 
 
@@ -90,3 +92,47 @@ class LeadTracker:
     def current(self) -> TrackedLead:
         """The current track without folding in a new frame."""
         return TrackedLead(valid=self._valid, rd=self._rd, rs=self._rs)
+
+
+def tracker_step_arrays(
+    valid: np.ndarray,
+    rd: np.ndarray,
+    rs: np.ndarray,
+    time_since_seen: np.ndarray,
+    lead_valid: np.ndarray,
+    lead_rd: np.ndarray,
+    lead_rs: np.ndarray,
+    dt: float,
+    alpha: np.ndarray,
+    beta: np.ndarray,
+    coast_time: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :meth:`LeadTracker.update`, bit-exact per lane.
+
+    Inputs are the filter state plus one perception frame per lane;
+    returns the new ``(valid, rd, rs, time_since_seen)`` state (which is
+    also the :class:`TrackedLead` the scalar path returns).
+    """
+    init = lead_valid & ~valid
+    fold = lead_valid & valid
+
+    predicted = rd - rs * dt
+    residual = lead_rd - predicted
+    rd_fold = predicted + alpha * residual
+    rd_fold = np.where(rd_fold > 0.0, rd_fold, 0.0)  # max(0.0, x)
+    rs_fold = rs - ((beta / dt) * residual) * dt
+    rs_fold = rs_fold + beta * (lead_rs - rs_fold)
+
+    coast = ~lead_valid & valid
+    tss_next = np.where(lead_valid, 0.0, np.where(coast, time_since_seen + dt, time_since_seen))
+    dead = coast & (tss_next > coast_time)
+    coasting = coast & ~dead
+    rd_coast = rd - rs * dt
+    rd_coast = np.where(rd_coast > 0.0, rd_coast, 0.0)  # max(0.0, x)
+
+    new_rd = np.where(
+        init, lead_rd, np.where(fold, rd_fold, np.where(coasting, rd_coast, rd))
+    )
+    new_rs = np.where(init, lead_rs, np.where(fold, rs_fold, rs))
+    new_valid = np.where(lead_valid, True, np.where(dead, False, valid))
+    return new_valid, new_rd, new_rs, tss_next

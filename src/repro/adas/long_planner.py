@@ -22,8 +22,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.adas.lead_tracker import TrackedLead
 from repro.utils.mathx import clamp
+from repro.utils.npmath import np_clamp, np_min_pair
 
 
 @dataclass(frozen=True)
@@ -127,3 +130,65 @@ class LongPlanner:
         self._braking = False
         gap_accel = 0.08 * margin - 0.45 * closing
         return clamp(gap_accel, -p.comfort_brake_limit, p.max_accel)
+
+
+def long_plan_arrays(
+    speed: np.ndarray,
+    lead_valid: np.ndarray,
+    lead_rd: np.ndarray,
+    lead_rs: np.ndarray,
+    braking: np.ndarray,
+    set_speed: np.ndarray,
+    time_gap: np.ndarray,
+    min_gap: np.ndarray,
+    cruise_gain: np.ndarray,
+    cruise_accel_limit: np.ndarray,
+    approach_trigger_decel: np.ndarray,
+    approach_margin: np.ndarray,
+    comfort_brake_limit: np.ndarray,
+    panic_ttc: np.ndarray,
+    panic_decel: np.ndarray,
+    max_accel: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :meth:`LongPlanner.plan`, bit-exact per lane.
+
+    ``braking`` is the per-lane hysteresis latch entering the step;
+    returns ``(accel_command, braking_next)``.
+    """
+    cruise = np_clamp(
+        cruise_gain * (set_speed - speed), -comfort_brake_limit, cruise_accel_limit
+    )
+    no_lead = np_clamp(cruise, -comfort_brake_limit, max_accel)
+
+    gap, closing = lead_rd, lead_rs
+    target_gap = min_gap + time_gap * speed
+    margin = gap - target_gap
+    closing_fast = closing > 0.15
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # Guarded divisions: the scalar path only evaluates these behind
+        # `closing > 0.5` / `margin > 0.5`; unselected rows may be inf/nan
+        # and are masked out below.
+        ttc = gap / closing
+        required_kin = (closing * closing) / (2.0 * margin)
+    panic = lead_valid & (closing > 0.5) & (ttc < panic_ttc)
+    required = np.where(margin <= 0.5, comfort_brake_limit, required_kin)
+    brake_now = braking | (required > approach_trigger_decel)
+    capped = required * approach_margin
+    brake_cmd = -np_min_pair(capped, comfort_brake_limit)
+    approach = np.where(brake_now, brake_cmd, cruise)
+    gap_accel = 0.08 * margin - 0.45 * closing
+    pd_cmd = np_clamp(gap_accel, -comfort_brake_limit, max_accel)
+    follow = np.where(closing_fast, approach, pd_cmd)
+    with_lead = np_clamp(
+        np_min_pair(cruise, follow), -comfort_brake_limit, max_accel
+    )
+
+    accel = np.where(
+        ~lead_valid, no_lead, np.where(panic, -panic_decel, with_lead)
+    )
+    braking_next = np.where(
+        ~lead_valid,
+        False,
+        np.where(panic, True, np.where(closing_fast, brake_now, False)),
+    )
+    return accel, braking_next

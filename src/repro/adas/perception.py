@@ -30,8 +30,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.sim.sensors import GroundTruthSensor
 from repro.utils.mathx import clamp
+from repro.utils.npmath import np_clamp
 from repro.utils.rng import RngStreams
 
 
@@ -174,3 +177,64 @@ class PerceptionModel:
     def reset(self) -> None:
         """Clear the feed-forward lag state (start of an episode)."""
         self._ff_curvature = 0.0
+
+
+def perception_head_arrays(
+    dt: float,
+    lead_present: "np.ndarray",
+    gap: "np.ndarray",
+    rel_speed: "np.ndarray",
+    noise: "np.ndarray",
+    dist_right: "np.ndarray",
+    dist_left: "np.ndarray",
+    k_road: "np.ndarray",
+    offset: "np.ndarray",
+    psi: "np.ndarray",
+    ff_curvature: "np.ndarray",
+    detection_range: "np.ndarray",
+    blind_range: "np.ndarray",
+    centering_gain: "np.ndarray",
+    heading_gain: "np.ndarray",
+    ff_lag: "np.ndarray",
+    rd_noise: "np.ndarray",
+    rs_noise: "np.ndarray",
+    lane_noise: "np.ndarray",
+    curvature_noise: "np.ndarray",
+    max_curvature: "np.ndarray",
+) -> tuple[
+    "np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray",
+    "np.ndarray", "np.ndarray",
+]:
+    """Vectorized :meth:`PerceptionModel.run`, bit-exact per lane.
+
+    One row per lane.  ``noise`` is an ``(n, 5)`` array of *standard
+    normal* draws laid out ``[rd, rs, lane_left, lane_right, curvature]``;
+    rows for lanes without a valid lead carry draws only in columns 2..4
+    (the scalar path draws nothing for the lead head there).  The caller
+    owns the per-lane draw-order bookkeeping (see
+    :class:`repro.sim.batch_control.BatchControlStack`).
+
+    Returns ``(lead_valid, rd, rs, lane_left, lane_right,
+    desired_curvature, ff_curvature_next)``.
+    """
+    lead_valid = lead_present & (gap <= detection_range) & (gap >= blind_range)
+    # rng.normal(0.0, s) computes 0.0 + s * standard_normal(); keep the
+    # `0.0 +` so a negative-zero draw normalises exactly like the scalar.
+    rd = gap + (0.0 + rd_noise * noise[:, 0])
+    rd = np.where(rd < 0.0, 0.0, rd)  # max(rd, 0.0): rd wins ties
+    rd = np.where(lead_valid, rd, 0.0)
+    rs = np.where(lead_valid, rel_speed + (0.0 + rs_noise * noise[:, 1]), 0.0)
+
+    lane_left = dist_left + (0.0 + lane_noise * noise[:, 2])
+    lane_right = dist_right + (0.0 + lane_noise * noise[:, 3])
+
+    alpha = dt / (ff_lag + dt)
+    ff_next = ff_curvature + alpha * (k_road - ff_curvature)
+    k_des = (
+        ff_next
+        - centering_gain * offset
+        - heading_gain * psi
+        + (0.0 + curvature_noise * noise[:, 4])
+    )
+    k_des = np_clamp(k_des, -max_curvature, max_curvature)
+    return lead_valid, rd, rs, lane_left, lane_right, k_des, ff_next

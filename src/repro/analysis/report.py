@@ -101,6 +101,9 @@ class ReportConfig:
             --executor``): ``"serial"``, ``"parallel"``, or ``"batch"``
             (vectorized lockstep; bit-identical results).  ``None`` defers
             to ``jobs``.
+        lanes: peak lockstep lane count for ``executor="batch"`` (``repro
+            report --lanes``); ``None`` defers to the ``REPRO_BATCH_LANES``
+            environment variable, then uncapped.
         cache_dir: campaign result cache directory (None defers to the
             ``REPRO_CACHE_DIR`` environment variable, then no caching).
             Cached campaigns — including the ML arm, keyed by its trainer
@@ -131,6 +134,7 @@ class ReportConfig:
     reaction_times: tuple = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5)
     jobs: Optional[int] = None
     executor: Optional[str] = None
+    lanes: Optional[int] = None
     cache_dir: Optional[str] = None
     resume_dir: Optional[str] = None
     extra_families: tuple = ()
@@ -207,6 +211,7 @@ def _run_report_campaign(
             ml_factory=ml_factory,
             jobs=config.jobs,
             executor=config.executor,
+            lanes=config.lanes,
             cache=cache if cache is not None else False,
             log=config._say,
         )
@@ -221,6 +226,7 @@ def _run_report_campaign(
         ml_factory=ml_factory,
         jobs=config.jobs,
         executor=config.executor,
+        lanes=config.lanes,
         cache=cache if cache is not None else False,
         resume_path=resume_path,
     )

@@ -33,6 +33,12 @@ from repro.attacks.patches import (
 from repro.sim.sensors import GroundTruthSensor
 
 
+#: Sentinel for "fetch the true lead gap from the sensor" — ``None`` is a
+#: legitimate value (no lead in range), so a default of ``None`` cannot
+#: distinguish "caller supplied no-lead" from "caller supplied nothing".
+_QUERY_SENSOR = object()
+
+
 class FaultType(enum.Enum):
     """Campaign fault types (paper Table III)."""
 
@@ -84,16 +90,50 @@ class FaultInjectionEngine:
 
     def apply(self, perception: PerceptionOutput, time: float) -> PerceptionOutput:
         """Rewrite one perception frame according to the active attack."""
+        rd, curvature = self.apply_values(
+            time,
+            perception.lead_valid,
+            perception.lead_rd,
+            perception.desired_curvature,
+        )
         out = perception
+        if self.rd_active:
+            out = out.with_lead(rd=rd)
+        if self.curvature_active:
+            out = out.with_curvature(curvature)
+        return out
+
+    def apply_values(
+        self,
+        time: float,
+        lead_valid: bool,
+        lead_rd: float,
+        desired_curvature: float,
+        true_gap: object = _QUERY_SENSOR,
+        ego_s: float | None = None,
+    ) -> tuple[float, float]:
+        """Value-based form of :meth:`apply` (used by the batch engine).
+
+        Takes the perception fields the attacks can touch and returns the
+        rewritten ``(lead_rd, desired_curvature)`` pair, updating the
+        activation bookkeeping exactly like :meth:`apply`.  The batch path
+        passes the true lead ``gap`` (or ``None`` for no lead) and the true
+        ``ego_s`` it already holds in arrays; when omitted they are fetched
+        from the sensor, which is what the scalar path does.
+        """
+        rd_out = lead_rd
+        curv_out = desired_curvature
         self.rd_active = False
         self.curvature_active = False
 
-        if self._rd_attack is not None and out.lead_valid:
-            true_lead = self.sensor.lead()
-            if true_lead is not None:
-                offset = self._rd_attack.offset_for(true_lead.gap)
+        if self._rd_attack is not None and lead_valid:
+            if true_gap is _QUERY_SENSOR:
+                true_lead = self.sensor.lead()
+                true_gap = None if true_lead is None else true_lead.gap
+            if true_gap is not None:
+                offset = self._rd_attack.offset_for(true_gap)  # type: ignore[arg-type]
                 if offset is not None:
-                    out = out.with_lead(rd=out.lead_rd + offset)
+                    rd_out = lead_rd + offset
                     self.rd_active = True
                     if self.rd_first_activation is None:
                         self.rd_first_activation = time
@@ -101,24 +141,28 @@ class FaultInjectionEngine:
                         self.first_activation = time
 
         if self._curv_attack is not None:
-            ego_s = self.sensor.world.ego.s
+            if ego_s is None:
+                ego_s = self.sensor.world.ego.s
             if self._curv_attack.covers(ego_s):
                 self._curv_active_until = time + self._curv_attack.duration
             if self._linked and self.rd_active:
                 # Mixed attack: once the ego is close enough that the
                 # lead-rear patch dominates the camera frame, it perturbs
                 # the curvature head too (Table III: "RD < 80m or ego
-                # vehicle drives across patch").
-                true_lead = self.sensor.lead()
-                if true_lead is not None and true_lead.gap < self._curv_trigger_rd:
+                # vehicle drives across patch").  rd_active implies the
+                # true lead existed, so true_gap is a float here.
+                if true_gap is _QUERY_SENSOR:
+                    true_lead = self.sensor.lead()
+                    true_gap = None if true_lead is None else true_lead.gap
+                if true_gap is not None and true_gap < self._curv_trigger_rd:  # type: ignore[operator]
                     self._curv_active_until = max(self._curv_active_until or 0.0, time)
             if self._curv_active_until is not None and time <= self._curv_active_until:
                 bias = self._curv_sign * self._curv_attack.curvature_bias
-                out = out.with_curvature(out.desired_curvature + bias)
+                curv_out = desired_curvature + bias
                 self.curvature_active = True
                 if self.curvature_first_activation is None:
                     self.curvature_first_activation = time
                 if self.first_activation is None:
                     self.first_activation = time
 
-        return out
+        return rd_out, curv_out

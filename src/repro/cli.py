@@ -221,6 +221,14 @@ def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
         "pool), or 'batch' (vectorized lockstep, bit-identical results; "
         "default: serial, or parallel when --jobs > 1)",
     )
+    parser.add_argument(
+        "--lanes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="peak lockstep lane count for '--executor batch' "
+        "(default: REPRO_BATCH_LANES env var, then uncapped)",
+    )
 
 
 def _reaction_times(text: str) -> tuple:
@@ -362,6 +370,7 @@ def _report_config_from_args(args, log=None) -> ReportConfig:
         include_ml=args.ml,
         jobs=getattr(args, "jobs", None),
         executor=getattr(args, "executor", None),
+        lanes=getattr(args, "lanes", None),
         cache_dir=getattr(args, "cache_dir", None),
         resume_dir=getattr(args, "resume", None),
         extra_families=families,
@@ -527,7 +536,11 @@ def _check_shard_name_order(paths) -> Optional[str]:
 
 def _persistence_kwargs(args, campaign, interventions, ml_token=None) -> dict:
     """``run_campaign`` keyword arguments from grid-command flags."""
-    kwargs = {"jobs": args.jobs, "executor": getattr(args, "executor", None)}
+    kwargs = {
+        "jobs": args.jobs,
+        "executor": getattr(args, "executor", None),
+        "lanes": getattr(args, "lanes", None),
+    }
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir:
         kwargs["cache"] = CampaignCache(cache_dir)
@@ -689,6 +702,7 @@ def _backend_kwargs(args) -> dict:
         backend = SSHBackend(
             workers=args.workers,
             jobs=args.jobs,
+            lanes=getattr(args, "lanes", None),
             command_template=args.ssh_command,
         )
     return {
@@ -698,6 +712,7 @@ def _backend_kwargs(args) -> dict:
         "workdir": args.workdir,
         "jobs": args.jobs,
         "executor": getattr(args, "executor", None),
+        "lanes": getattr(args, "lanes", None),
     }
 
 
@@ -944,6 +959,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"repro: error: {exc}", file=sys.stderr)
             return 2
 
+    # Same surfacing for REPRO_BATCH_LANES when --lanes is omitted on a
+    # command that could route through the batch executor.
+    if "lanes" in vars(args) and args.lanes is None:
+        from repro.core.executor import default_batch_lanes
+
+        try:
+            default_batch_lanes()
+        except ValueError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+
     # Umbrella for configuration errors every command can hit (a malformed
     # REPRO_CACHE_DIR consulted deep inside run_campaign, an unwritable
     # output directory): fail fast with the message, never a traceback.
@@ -1104,6 +1130,7 @@ def _run(args) -> int:
             cfg,
             jobs=args.jobs,
             executor=args.executor,
+            lanes=args.lanes,
             cache=cache,
             resume_path=output if args.resume else None,
             progress=progress if episodes else None,
@@ -1147,6 +1174,7 @@ def _run(args) -> int:
             ml_factory=ml_factory,
             jobs=args.jobs,
             executor=args.executor,
+            lanes=args.lanes,
             resume_path=job.output,
             # Cache policy belongs to the scheduler, which resolved it (env
             # included) at dispatch time: a null cache_dir means caching is

@@ -124,13 +124,23 @@ class ProgressTracker:
     """
 
     def __init__(self, total: int, callback: Optional[ProgressCallback]) -> None:
+        if total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
         self.total = total
         self.done = 0
         self._callback = callback
         self._lock = threading.Lock()
 
     def advance(self, count: int = 1) -> None:
-        """Record ``count`` finished episodes and notify the callback."""
+        """Record ``count`` finished episodes and notify the callback.
+
+        Raises:
+            ValueError: if ``count`` is not positive — a zero or negative
+                advance is always a caller bug (an empty chunk result
+                would silently stall the ``(done, total)`` contract).
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
         with self._lock:
             self.done += count
             if self._callback is not None:
@@ -204,11 +214,24 @@ class ParallelExecutor(CampaignExecutor):
 
     @staticmethod
     def _dispatchable(tasks: Sequence[EpisodeTask]) -> bool:
-        """True when the payload survives the process boundary."""
-        try:
-            pickle.dumps(tasks[0])
-        except Exception:
-            return False
+        """True when every payload survives the process boundary.
+
+        Probing only ``tasks[0]`` is not enough: campaigns mix arms, and a
+        non-picklable payload (e.g. a lambda ``ml_factory`` on the ML arm)
+        can sit anywhere in the list.  The expensive part of a task pickle
+        is the ``ml_factory`` payload, so one representative per distinct
+        factory object is probed instead of all N tasks.
+        """
+        seen: set = set()
+        for task in tasks:
+            marker = id(task.ml_factory) if task.ml_factory is not None else None
+            if marker in seen:
+                continue
+            seen.add(marker)
+            try:
+                pickle.dumps(task)
+            except Exception:
+                return False
         return True
 
     def run(
@@ -310,6 +333,7 @@ class BatchExecutor(CampaignExecutor):
     ) -> None:
         """Run one same-``dt`` group of episodes in lockstep."""
         from repro.core.platform import SimulationPlatform
+        from repro.sim.batch_control import BatchControlStack
         from repro.sim.batch_state import BatchDynamics
 
         platforms = []
@@ -339,20 +363,35 @@ class BatchExecutor(CampaignExecutor):
             ),
             human_leads=any(platform.driver is not None for platform in platforms),
         )
+        stack = BatchControlStack(platforms, dynamics)
         dt = platforms[0].dt
         episodes = [platform._begin_episode() for platform in platforms]
         steps = [0] * len(platforms)
         active = list(range(len(platforms)))
+        # The control phase runs before the first physics step, so the
+        # step-0 world-query caches must be primed from the initial state.
+        dynamics.prime(active)
         while active:
+            vector_lanes = [lane for lane in active if lane in stack.vector_set]
+            stack.step_control(vector_lanes)
             for lane in active:
-                platforms[lane]._control_phase(steps[lane], episodes[lane])
+                if lane not in stack.vector_set:
+                    platforms[lane]._control_phase(steps[lane], episodes[lane])
             dynamics.step(active, dt)
+            stack.accumulate(vector_lanes)
             remaining = []
             for lane in active:
                 platform = platforms[lane]
-                finished = platform._after_dynamics(steps[lane], episodes[lane])
+                if lane in stack.vector_set:
+                    # The intervention recorders already ran vectorized in
+                    # step_control; only hazard detection remains per lane.
+                    finished = platform._close_step(steps[lane], episodes[lane])
+                else:
+                    finished = platform._after_dynamics(steps[lane], episodes[lane])
                 steps[lane] += 1
                 if finished or steps[lane] >= platform.max_steps:
+                    if lane in stack.vector_set:
+                        stack.retire(lane, episodes[lane])
                     platform._finish_episode(episodes[lane])
                     results[indices[lane]] = episodes[lane]
                     tracker.advance()
@@ -397,6 +436,32 @@ def default_jobs() -> int:
     return jobs
 
 
+def default_batch_lanes() -> Optional[int]:
+    """Batch-lane default: the ``REPRO_BATCH_LANES`` environment variable.
+
+    ``None`` (unset) means "one batch per ``dt`` group" — no cap.
+
+    Raises:
+        ValueError: on a malformed or non-positive ``REPRO_BATCH_LANES``.
+    """
+    raw = os.environ.get("REPRO_BATCH_LANES")
+    if raw is None:
+        return None
+    try:
+        lanes = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BATCH_LANES must be a positive integer (lockstep lane "
+            f"cap), got {raw!r}"
+        ) from None
+    if lanes < 1:
+        raise ValueError(
+            f"REPRO_BATCH_LANES must be a positive integer (lockstep lane "
+            f"cap), got {lanes}"
+        )
+    return lanes
+
+
 def make_executor(jobs: Optional[int] = None) -> CampaignExecutor:
     """Build the executor for a requested worker count.
 
@@ -424,7 +489,9 @@ EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "parallel", "batch")
 
 
 def resolve_executor(
-    executor: "str | CampaignExecutor | None", jobs: Optional[int] = None
+    executor: "str | CampaignExecutor | None",
+    jobs: Optional[int] = None,
+    lanes: Optional[int] = None,
 ) -> CampaignExecutor:
     """Resolve an executor argument (name, instance or ``None``).
 
@@ -433,6 +500,9 @@ def resolve_executor(
             :class:`CampaignExecutor` instance (returned unchanged), or
             ``None`` to defer to :func:`make_executor`.
         jobs: worker count for the ``None``/``"parallel"`` cases.
+        lanes: lockstep lane cap for the ``"batch"`` case; ``None`` defers
+            to :func:`default_batch_lanes` (the ``REPRO_BATCH_LANES``
+            environment variable, then uncapped).
 
     Raises:
         ValueError: on an unknown executor name.
@@ -445,7 +515,9 @@ def resolve_executor(
         if executor == "parallel":
             return ParallelExecutor(jobs=jobs if jobs is not None else default_jobs())
         if executor == "batch":
-            return BatchExecutor()
+            return BatchExecutor(
+                lanes=lanes if lanes is not None else default_batch_lanes()
+            )
         raise ValueError(
             f"unknown executor {executor!r}; expected one of "
             f"{', '.join(EXECUTOR_NAMES)}"

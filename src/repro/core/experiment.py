@@ -201,6 +201,7 @@ def run_campaign(
     progress: Optional[Callable[[int, int], None]] = None,
     jobs: Optional[int] = None,
     executor: Union[str, CampaignExecutor, None] = None,
+    lanes: Optional[int] = None,
     resume_path: Optional[PathLike] = None,
     cache: Union[CacheBackend, None, bool] = None,
     **platform_kwargs,
@@ -230,6 +231,9 @@ def run_campaign(
             :class:`~repro.core.executor.CampaignExecutor` instance.
             ``executor="batch"`` steps all episodes in lockstep through
             the vectorized batch engine with bit-identical results.
+        lanes: peak lockstep lane count for ``executor="batch"``; ``None``
+            defers to the ``REPRO_BATCH_LANES`` environment variable
+            (then uncapped).  Ignored by the other executors.
         resume_path: campaign JSONL file to resume into.  An existing file's
             valid prefix (truncated final lines tolerated) is loaded and its
             episodes skipped; only the remainder executes, with completed
@@ -272,6 +276,7 @@ def run_campaign(
         job,
         jobs=jobs,
         executor=executor,
+        lanes=lanes,
         progress=progress,
         resume_path=resume_path,
         cache=cache,

@@ -211,6 +211,15 @@ class SimulationPlatform:
             self._follow_sum += lead.gap
             self._follow_count += 1
 
+        return self._close_step(step_index, result)
+
+    def _close_step(self, step_index: int, result: EpisodeResult) -> bool:
+        """Hazard detection + step count; returns True when the episode ends.
+
+        The tail of :meth:`_after_dynamics`, split out so the vectorized
+        batch path (which accumulates the running metrics on arrays) can
+        run it per lane without re-running the scalar accumulation.
+        """
         accident = self.hazards.update(self.world)
         result.steps = step_index + 1
         return accident is not None
@@ -299,8 +308,30 @@ class SimulationPlatform:
         if final.long_authority in ("adas", "ml"):
             authority = ego.powertrain.params.adas_brake_authority
             applied_accel = max(applied_accel, -authority)
+        self._stage_control(
+            now, perceived, aebs_state, driver_action, ml_recovery, final,
+            applied_accel,
+        )
+
+    def _stage_control(
+        self,
+        now: float,
+        perceived,
+        aebs_state: AebsState,
+        driver_action,
+        ml_recovery: bool,
+        final,
+        applied_accel: float,
+    ) -> None:
+        """Actuate a resolved command and stage it for ``_post_step``.
+
+        The tail of the control phase, split out so the vectorized batch
+        path (:class:`repro.sim.batch_control.BatchControlStack`) can stage
+        per-lane results identically after computing the decision math on
+        arrays.
+        """
         self._last_commanded_brake = max(0.0, -final.accel)
-        ego.apply_controls(
+        self.world.ego.apply_controls(
             applied_accel, final.steer, driver_steering=final.driver_steering
         )
         self._ctrl = (now, perceived, aebs_state, driver_action, ml_recovery, final)

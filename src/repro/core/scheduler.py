@@ -299,6 +299,7 @@ def execute_shard(
     job: ShardJob,
     jobs: Optional[int] = None,
     executor: Union[str, CampaignExecutor, None] = None,
+    lanes: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     resume_path: Optional[PathLike] = None,
     cache: Union[CacheBackend, None, bool] = None,
@@ -319,6 +320,9 @@ def execute_shard(
         executor: explicit execution backend — an
             :data:`~repro.core.executor.EXECUTOR_NAMES` name such as
             ``"batch"`` or a ready instance (overrides ``jobs``).
+        lanes: peak lockstep lane count for ``executor="batch"``; ``None``
+            defers to the ``REPRO_BATCH_LANES`` environment variable
+            (then uncapped).  Ignored by the other executors.
         progress: optional ``(done, total)`` callback over this shard's
             episodes; under resume, ``done`` starts at the number of
             episodes already on disk.
@@ -399,7 +403,7 @@ def execute_shard(
     skipped = len(prior)
     if progress is not None and skipped:
         progress(skipped, total)
-    backend = resolve_executor(executor, jobs)
+    backend = resolve_executor(executor, jobs, lanes)
 
     new: List[EpisodeResult] = []
     if resume_path is None:
@@ -670,6 +674,7 @@ class InProcessBackend(WorkerBackend):
         workers: Optional[int] = None,
         jobs: Optional[int] = None,
         executor: Union[str, CampaignExecutor, None] = None,
+        lanes: Optional[int] = None,
     ) -> None:
         self.jobs = jobs if jobs is not None else workers
         if isinstance(executor, str) and executor not in EXECUTOR_NAMES:
@@ -678,6 +683,7 @@ class InProcessBackend(WorkerBackend):
                 f"{', '.join(EXECUTOR_NAMES)}"
             )
         self.executor = executor
+        self.lanes = lanes
 
     def run(
         self,
@@ -707,6 +713,7 @@ class InProcessBackend(WorkerBackend):
                     job,
                     jobs=self.jobs,
                     executor=self.executor,
+                    lanes=self.lanes,
                     progress=sub_progress,
                     resume_path=path,
                     cache=cache if cache is not None else False,
@@ -766,6 +773,7 @@ class SubprocessFleetBackend(WorkerBackend):
         max_retries: int = 2,
         poll_interval: float = 0.05,
         executor: Optional[str] = None,
+        lanes: Optional[int] = None,
     ) -> None:
         if workers is None:
             workers = max(1, min(2, available_cores()))
@@ -790,6 +798,9 @@ class SubprocessFleetBackend(WorkerBackend):
         self.max_retries = max_retries
         self.poll_interval = poll_interval
         self.executor = executor
+        if lanes is not None and lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.lanes = lanes
 
     def default_shard_count(self) -> int:
         return self.workers
@@ -808,6 +819,8 @@ class SubprocessFleetBackend(WorkerBackend):
             command += ["--jobs", str(self.jobs)]
         if self.executor is not None:
             command += ["--executor", self.executor]
+        if self.lanes is not None:
+            command += ["--lanes", str(self.lanes)]
         command += list(self.worker_args)
         return command
 
@@ -1135,6 +1148,7 @@ def dispatch_campaign(
     cache: Union[CacheBackend, None, bool] = None,
     jobs: Optional[int] = None,
     executor: Optional[str] = None,
+    lanes: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     log: Optional[LogCallback] = None,
     **platform_kwargs,
@@ -1169,6 +1183,8 @@ def dispatch_campaign(
             backend.
         executor: per-worker executor name (e.g. ``"batch"``) forwarded
             to a by-name backend.
+        lanes: per-worker peak lockstep lane count for the batch executor,
+            forwarded to a by-name backend.
         progress: ``(done episodes, total)`` callback; fleet backends
             report at shard granularity.
         log: line sink for dispatch narration (worker launches, retries).
@@ -1179,7 +1195,7 @@ def dispatch_campaign(
     """
     if isinstance(backend, str):
         backend = make_backend(
-            backend, workers=workers, jobs=jobs, executor=executor
+            backend, workers=workers, jobs=jobs, executor=executor, lanes=lanes
         )
     plan = CampaignPlan.build(
         campaign,

@@ -37,6 +37,8 @@ import enum
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.utils.units import G
 
 
@@ -226,3 +228,104 @@ def _phase_for(ttc: float, t_pb1: float, t_pb2: float, t_fb: float) -> int:
     if ttc < t_pb1:
         return 1
     return 0
+
+
+def aebs_step_arrays(
+    phase: np.ndarray,
+    hold_until: np.ndarray,
+    recovered_since: np.ndarray,
+    time: np.ndarray,
+    ego_speed: np.ndarray,
+    lead_valid: np.ndarray,
+    rd: np.ndarray,
+    rs: np.ndarray,
+    dt: float,
+    disabled: np.ndarray,
+    driver_decel: np.ndarray,
+    reaction_time: np.ndarray,
+    pb1_divisor: np.ndarray,
+    pb2_divisor: np.ndarray,
+    fb_divisor: np.ndarray,
+    brake_fractions: np.ndarray,
+    min_speed: np.ndarray,
+    min_closing: np.ndarray,
+    release_margin: np.ndarray,
+    release_sustain: np.ndarray,
+    standstill_hold: np.ndarray,
+    hold_gap: np.ndarray,
+) -> tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+]:
+    """Vectorized :meth:`Aebs.update`, bit-exact per lane.
+
+    The two ``Optional[float]`` timers (``_hold_until``,
+    ``_recovered_since``) are NaN-encoded; ``brake_fractions`` is an
+    ``(n, 3)`` per-lane table.  ``disabled`` lanes advance the clock but
+    never change phase/timers (the scalar early return).
+
+    Returns the output record plus the new state:
+    ``(fcw, out_phase, brake_accel, ttc, phase, hold_until,
+    recovered_since, time)``.
+    """
+    time = time + dt
+    threat = lead_valid & (rs >= min_closing) & (rd > 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ttc = np.where(threat, rd / rs, math.inf)
+    t_stop = ego_speed / driver_decel
+    t_fcw = reaction_time + t_stop
+    t_pb1 = ego_speed / pb1_divisor
+    t_pb2 = ego_speed / pb2_divisor
+    t_fb = ego_speed / fb_divisor
+    fcw = ttc < t_fcw
+
+    live = ~disabled
+    latched = live & (phase > 0)
+    obstacle_close = lead_valid & (0.0 <= rd) & (rd < hold_gap)
+
+    # Standstill hold bookkeeping (latched, ego stopped).
+    standstill = latched & (ego_speed < 0.1)
+    hold_nan = np.isnan(hold_until)
+    m_hold_keep = standstill & obstacle_close                  # hold = None
+    m_hold_arm = standstill & ~obstacle_close & hold_nan       # start timer
+    m_hold_rel = (                                             # timer expired
+        standstill & ~obstacle_close & ~hold_nan & (time >= hold_until)
+    )
+
+    # Sustained-recovery release bookkeeping (latched, ego moving).
+    moving = latched & ~standstill
+    recovered = moving & ~obstacle_close & (ttc > t_pb1 * release_margin)
+    rec_nan = np.isnan(recovered_since)
+    m_rec_arm = recovered & rec_nan
+    m_rec_rel = recovered & ~rec_nan & (time - recovered_since >= release_sustain)
+    m_rec_clear = moving & ~recovered
+
+    released = m_hold_rel | m_rec_rel
+    hold_until = np.where(
+        m_hold_keep | m_hold_rel,
+        np.nan,
+        np.where(m_hold_arm, time + standstill_hold, hold_until),
+    )
+    recovered_since = np.where(
+        m_rec_clear | m_rec_rel,
+        np.nan,
+        np.where(m_rec_arm, time, recovered_since),
+    )
+
+    ttc_phase = np.where(
+        ttc < t_fb, 3, np.where(ttc < t_pb2, 2, np.where(ttc < t_pb1, 1, 0))
+    )
+    escalated = np.maximum(phase, ttc_phase)
+
+    engaging = live & ~latched & (ego_speed >= min_speed) & threat
+    new_phase = np.where(
+        latched & ~released,
+        escalated,
+        np.where(engaging, ttc_phase, np.where(live, 0, phase)),
+    )
+    braking = live & (new_phase > 0)
+    frac_idx = np.where(braking, new_phase, 1) - 1
+    fraction = brake_fractions[np.arange(len(frac_idx)), frac_idx]
+    brake_accel = np.where(braking, -fraction * G, 0.0)
+    out_phase = np.where(braking, new_phase, 0)
+    return fcw, out_phase, brake_accel, ttc, new_phase, hold_until, recovered_since, time

@@ -11,6 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.utils.npmath import np_min_pair
+
 
 @dataclass(frozen=True)
 class LdwParams:
@@ -62,3 +66,24 @@ class LaneDepartureWarning:
             if dist_right / -lateral_speed < p.time_to_crossing:
                 return True
         return False
+
+
+def ldw_arrays(
+    dist_right: np.ndarray,
+    dist_left: np.ndarray,
+    lateral_speed: np.ndarray,
+    ego_speed: np.ndarray,
+    distance_threshold: np.ndarray,
+    time_to_crossing: np.ndarray,
+    min_speed: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :meth:`LaneDepartureWarning.update`, bit-exact per lane."""
+    near = np_min_pair(dist_right, dist_left) < distance_threshold
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # Time-to-crossing divisions are guarded by the |lateral_speed|
+        # deadband in the scalar path; unselected rows are masked below.
+        left_t = dist_left / lateral_speed
+        right_t = dist_right / -lateral_speed
+    drift_left = (lateral_speed > 0.05) & (left_t < time_to_crossing)
+    drift_right = (lateral_speed < -0.05) & (right_t < time_to_crossing)
+    return (ego_speed >= min_speed) & (near | drift_left | drift_right)

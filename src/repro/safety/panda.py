@@ -20,8 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.adas.controlsd import AdasCommand
 from repro.utils.mathx import clamp, rate_limit
+from repro.utils.npmath import np_clamp, np_rate_limit
 
 
 @dataclass(frozen=True)
@@ -75,3 +78,28 @@ class SafetyChecker:
             self.blocked_steer_count += 1
         self._last_steer = steer
         return AdasCommand(accel=accel, steer=steer)
+
+
+def checker_arrays(
+    accel_cmd: np.ndarray,
+    steer_cmd: np.ndarray,
+    last_steer: np.ndarray,
+    dt: float,
+    max_accel: np.ndarray,
+    min_accel: np.ndarray,
+    max_steer: np.ndarray,
+    max_steer_rate: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :meth:`SafetyChecker.check`, bit-exact per lane.
+
+    ``last_steer`` is the rate-limit state entering the step; the checked
+    steer output is also the new ``last_steer``.  Returns
+    ``(accel, steer, accel_blocked, steer_blocked)`` with the blocked
+    flags as booleans (the caller accumulates the counters).
+    """
+    accel = np_clamp(accel_cmd, min_accel, max_accel)
+    accel_blocked = accel != accel_cmd
+    steer = np_clamp(steer_cmd, -max_steer, max_steer)
+    steer = np_rate_limit(last_steer, steer, max_steer_rate * dt)
+    steer_blocked = steer != steer_cmd
+    return accel, steer, accel_blocked, steer_blocked

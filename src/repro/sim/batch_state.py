@@ -44,31 +44,16 @@ import numpy as np
 
 from repro.sim.sensors import HUMAN_CORRIDOR, RADAR_CORRIDOR
 from repro.sim.world import World
+from repro.utils.npmath import (
+    np_clamp as _np_clamp,
+    np_rate_limit as _np_rate_limit,
+    np_sqrt_pos as _np_sqrt_pos,
+)
 from repro.utils.units import G
 
 #: Default ``max_range`` of :meth:`World.lead_actor` (hazard monitors and
 #: ``lead_gap`` call it with no arguments).
 _LEAD_RANGE_DEFAULT = 250.0
-
-
-def _np_clamp(value, lo, hi):
-    """Vectorized ``mathx.clamp`` (identical branch semantics)."""
-    return np.where(value < lo, lo, np.where(value > hi, hi, value))
-
-
-def _np_rate_limit(current, target, max_delta):
-    """Vectorized ``mathx.rate_limit`` (identical branch semantics)."""
-    delta = target - current
-    return np.where(
-        delta > max_delta,
-        current + max_delta,
-        np.where(delta < -max_delta, current - max_delta, target),
-    )
-
-
-def _np_sqrt_pos(value):
-    """Vectorized ``math.sqrt(v) if v > 0.0 else 0.0``."""
-    return np.sqrt(np.where(value > 0.0, value, 0.0))
 
 
 class BatchDynamics:
@@ -174,20 +159,32 @@ class BatchDynamics:
         range_default = np.full(n, _LEAD_RANGE_DEFAULT)
         configs = [(range_default, corr_default)]
 
-        def _add_config(mr: np.ndarray, corr: np.ndarray) -> None:
-            for have_mr, have_corr in configs:
+        def _config_index(mr: np.ndarray, corr: np.ndarray) -> int:
+            for k, (have_mr, have_corr) in enumerate(configs):
                 if np.array_equal(have_mr, mr) and np.array_equal(have_corr, corr):
-                    return
+                    return k
             configs.append((mr, corr))
+            return len(configs) - 1
 
         sensor_range = range_default
         if lead_max_ranges is not None:
             sensor_range = np.array([float(v) for v in lead_max_ranges])
-            _add_config(sensor_range, corr_default)
-        if radar_leads:
-            _add_config(sensor_range, np.full(n, RADAR_CORRIDOR))
-        if human_leads:
-            _add_config(sensor_range, np.full(n, HUMAN_CORRIDOR))
+        # Named indices into the per-step lead pre-computation, so the
+        # batch control stack can read each corridor's result directly
+        # from the control view (see :attr:`control_view`).
+        self.lead_config_index = {
+            "sensor": _config_index(sensor_range, corr_default),
+            "radar": (
+                _config_index(sensor_range, np.full(n, RADAR_CORRIDOR))
+                if radar_leads
+                else None
+            ),
+            "human": (
+                _config_index(sensor_range, np.full(n, HUMAN_CORRIDOR))
+                if human_leads
+                else None
+            ),
+        }
         self._lead_configs = [
             (mr, corr, [("lead", mr_i, corr_i) for mr_i, corr_i in zip(mr.tolist(), corr.tolist())])
             for mr, corr in configs
@@ -201,6 +198,11 @@ class BatchDynamics:
 
         self._bound_key: Optional[tuple] = None
         self._bound: Optional[SimpleNamespace] = None
+        #: Array view of the latest :meth:`_populate_caches` pass (the
+        #: same values deposited in the per-world step caches, kept as
+        #: arrays for the batch control stack).  ``None`` until the first
+        #: :meth:`step` or :meth:`prime`.
+        self.control_view: Optional[SimpleNamespace] = None
 
     # ------------------------------------------------------------------ #
     # Active-set binding (constant tables gathered per active subset)
@@ -494,6 +496,7 @@ class BatchDynamics:
         n_active = len(b.worlds)
         a_s_pad = np.zeros((n_active, b.max_slots))
         a_d_pad = np.zeros((n_active, b.max_slots))
+        a_speed_pad = np.zeros((n_active, b.max_slots))
         if b.actors:
             a_cmd = np.array([(a.accel_cmd, a.d_target) for a in b.actors])
             a_accel = _np_clamp(a_cmd[:, 0], -b.actor_limit, b.actor_limit)
@@ -514,6 +517,7 @@ class BatchDynamics:
                 actor.d = row[3]
             a_s_pad[b.flat_lane, b.flat_slot] = a_s
             a_d_pad[b.flat_lane, b.flat_slot] = a_d
+            a_speed_pad[b.flat_lane, b.flat_slot] = a_speed
 
         # -------- time advance ---------------------------------------- #
         for world in b.worlds:
@@ -547,7 +551,26 @@ class BatchDynamics:
             b.off_road_latch[j] = world.off_road
 
         # -------- step-cache populate (pure queries, post-step) ------- #
-        self._populate_caches(b, s, d, speed, a_s_pad, a_d_pad)
+        self._populate_caches(b, s, d, speed, a_s_pad, a_d_pad, a_speed_pad)
+
+    def prime(self, lanes: Sequence[int]) -> None:
+        """Pre-populate the step caches from the *current* (unstepped) state.
+
+        The control phase runs before the first :meth:`step`, so without
+        priming its step-0 world queries fall back to the scalar scans and
+        the batch control stack has no :attr:`control_view` to read.  The
+        values are identical to what those scalar scans would return.
+        """
+        b = self._bind(lanes)
+        n_active = len(b.worlds)
+        a_s_pad = np.zeros((n_active, b.max_slots))
+        a_d_pad = np.zeros((n_active, b.max_slots))
+        a_speed_pad = np.zeros((n_active, b.max_slots))
+        if b.actors:
+            a_s_pad[b.flat_lane, b.flat_slot] = b.a_s
+            a_d_pad[b.flat_lane, b.flat_slot] = b.a_d
+            a_speed_pad[b.flat_lane, b.flat_slot] = b.a_speed
+        self._populate_caches(b, b.s, b.d, b.speed, a_s_pad, a_d_pad, a_speed_pad)
 
     # ------------------------------------------------------------------ #
     # Per-step query pre-computation
@@ -561,13 +584,16 @@ class BatchDynamics:
         speed: np.ndarray,
         a_s_pad: np.ndarray,
         a_d_pad: np.ndarray,
+        a_speed_pad: np.ndarray,
     ) -> None:
         """Vectorized replicas of the per-step pure world queries.
 
         Results land in each world's ``_step_cache`` keyed by the exact
         argument values the scalar call sites pass, stamped with the
         post-step time; the scalar methods fall back to their own scans on
-        any miss, so the cache is purely an accelerator.
+        any miss, so the cache is purely an accelerator.  The same values
+        are kept as arrays in :attr:`control_view` for the batch control
+        stack.
         """
         n_active = len(b.worlds)
 
@@ -577,8 +603,10 @@ class BatchDynamics:
         center = lane * b.lane_width
         right = center - b.half_lane
         left = center + b.half_lane
-        dist_right = ((d - b.ego_half_wid) - right).tolist()
-        dist_left = (left - (d + b.ego_half_wid)).tolist()
+        dist_right_arr = (d - b.ego_half_wid) - right
+        dist_left_arr = left - (d + b.ego_half_wid)
+        dist_right = dist_right_arr.tolist()
+        dist_left = dist_left_arr.tolist()
 
         # Road.curvature_ahead at each lane's perception look-ahead.  All
         # six sample points (the s-anchor plus the five look-ahead probes)
@@ -594,11 +622,15 @@ class BatchDynamics:
             acc = 0.0 + vals[1]  # serial starts from acc = 0.0 (signed zero)
             for i in range(2, 6):
                 acc = acc + vals[i]
-            curv_vals = np.where(b.curv_la > 0.0, acc / 5, vals[0]).tolist()
+            curv_arr = np.where(b.curv_la > 0.0, acc / 5, vals[0])
+            curv_vals = curv_arr.tolist()
+        else:
+            curv_arr = None
 
         # World.lead_actor for each pre-registered (max_range, corridor).
         ego_front = s + b.ego_half_len
         lead_slots = []
+        lead_views = []
         for max_range, corridor, keys in b.lead_configs:
             best_slot = np.full(n_active, -1, dtype=np.intp)
             best_gap = max_range.copy()
@@ -613,6 +645,26 @@ class BatchDynamics:
                 best_slot = np.where(sel, j, best_slot)
                 best_gap = np.where(sel, np.where(gap > 0.0, gap, 0.0), best_gap)
             lead_slots.append((keys, best_slot.tolist()))
+            has_lead = best_slot >= 0
+            slot_clip = np.where(has_lead, best_slot, 0)
+            if b.max_slots:
+                lead_speed = a_speed_pad[np.arange(n_active), slot_clip]
+            else:
+                lead_speed = np.zeros(n_active)
+            # best_gap of a selected slot is exactly the measurement gap
+            # (`max(0.0, rear_s - front_s)`) GroundTruthSensor computes.
+            lead_views.append(
+                SimpleNamespace(valid=has_lead, gap=best_gap, speed=lead_speed)
+            )
+
+        self.control_view = SimpleNamespace(
+            key=self._bound_key,
+            dist_right=dist_right_arr,
+            dist_left=dist_left_arr,
+            lane_center=center,
+            curvature=curv_arr,
+            leads=lead_views,
+        )
 
         for j, world in enumerate(b.worlds):
             cache = {"time": world.time, "lld": (dist_right[j], dist_left[j])}

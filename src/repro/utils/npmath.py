@@ -1,0 +1,60 @@
+"""NumPy twins of the scalar :mod:`repro.utils.mathx` helpers.
+
+The batch engine (:mod:`repro.sim.batch_state`,
+:mod:`repro.sim.batch_control`) vectorizes the per-step float math across
+episode lanes while guaranteeing **bit-identical** results to the scalar
+path.  That guarantee rests on replicating the scalar *branch semantics*
+exactly — including operand order and signed-zero behaviour — not just the
+mathematical value:
+
+* ``clamp`` returns the untouched input inside the interval (so ``-0.0``
+  passes through), the bound otherwise;
+* Python's ``max(a, b)``/``min(a, b)`` return the *first* argument on
+  ties, which matters for ``±0.0`` — :func:`np_max_pair`/:func:`np_min_pair`
+  preserve that;
+* guarded square roots and divisions replicate ``if``-protected scalar
+  expressions without letting the unselected branch poison the result.
+
+Only IEEE-754 elementwise operations (``+ - * / sqrt copysign abs`` and
+comparisons) appear here; transcendentals are not bit-pinned across libm
+implementations and must stay per-lane ``math`` calls at the call sites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def np_clamp(value, lo, hi):
+    """Vectorized ``mathx.clamp`` (identical branch semantics)."""
+    return np.where(value < lo, lo, np.where(value > hi, hi, value))
+
+
+def np_rate_limit(current, target, max_delta):
+    """Vectorized ``mathx.rate_limit`` (identical branch semantics)."""
+    delta = target - current
+    return np.where(
+        delta > max_delta,
+        current + max_delta,
+        np.where(delta < -max_delta, current - max_delta, target),
+    )
+
+
+def np_sqrt_pos(value):
+    """Vectorized ``math.sqrt(v) if v > 0.0 else 0.0``."""
+    return np.sqrt(np.where(value > 0.0, value, 0.0))
+
+
+def np_max_pair(first, second):
+    """Vectorized Python ``max(first, second)``.
+
+    ``max(a, b)`` returns ``b`` only when ``b > a`` — on ties (including
+    ``+0.0`` vs ``-0.0``) the *first* argument wins, which ``np.maximum``
+    does not guarantee for signed zeros.
+    """
+    return np.where(second > first, second, first)
+
+
+def np_min_pair(first, second):
+    """Vectorized Python ``min(first, second)`` (first argument on ties)."""
+    return np.where(second < first, second, first)

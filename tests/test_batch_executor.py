@@ -99,6 +99,39 @@ class TestBatchSerialEquivalence:
             )
             assert batch.results == serial.results, lanes
 
+    def test_mid_batch_finish_and_rng_draw_order(self):
+        # RD-attacked baseline: the S4 lanes crash (A1) hundreds of steps
+        # before the S1 lanes reach max_steps, so lanes retire mid-batch
+        # and the survivors' active-set key changes; the attack also
+        # walks the lead through the perception blind range, so per-lane
+        # RNG consumption alternates between 5-draw (valid-lead) and
+        # 3-draw steps.  Neither may disturb bit-identity at any chunk
+        # width: 1 (a boundary every lane), width-1 (uneven final chunk),
+        # or unbounded (all finish-orders interleaved in one batch).
+        spec = CampaignSpec(
+            scenario_ids=("S1", "S4"),
+            fault_types=[FaultType.RELATIVE_DISTANCE],
+            initial_gaps=(60.0,),
+            repetitions=2,
+            seed=99,
+        )
+        serial = run_campaign(
+            spec, InterventionConfig(), executor="serial", cache=False, max_steps=600
+        )
+        steps = [r.steps for r in serial.results]
+        # Precondition: lanes genuinely finish at different steps.
+        assert len(set(steps)) > 1, steps
+        assert any(r.accident is not None for r in serial.results)
+        for lanes in (1, len(steps) - 1, None):
+            batch = run_campaign(
+                spec,
+                InterventionConfig(),
+                executor=BatchExecutor(lanes=lanes),
+                cache=False,
+                max_steps=600,
+            )
+            assert batch.results == serial.results, lanes
+
     def test_minimal_config_also_identical(self):
         # No driver, no AEB: the no-intervention arm takes different
         # sensor paths (no radar/human corridors registered).

@@ -19,7 +19,11 @@ from repro.attacks.campaign import CampaignSpec
 from repro.attacks.fi import FaultType
 from repro.cli import build_parser, main
 from repro.core.cache import CampaignCache, read_digest_sidecar
-from repro.core.scheduler import CampaignPlan, write_job_spec
+from repro.core.scheduler import (
+    CampaignPlan,
+    SubprocessFleetBackend,
+    write_job_spec,
+)
 from repro.safety.arbitration import InterventionConfig
 
 #: Quick grid shared across the command tests: 2 episodes, 300 steps.
@@ -38,6 +42,40 @@ def grid_spec():
         repetitions=2,
         seed=7,
     )
+
+
+class TestBatchLanesFlag:
+    def test_campaign_batch_lanes_matches_serial_bytes(self, tmp_path, capsys):
+        serial = tmp_path / "serial.jsonl"
+        assert main(["campaign", *GRID, "-o", str(serial)]) == 0
+        batch = tmp_path / "batch.jsonl"
+        rc = main(
+            [
+                "campaign", *GRID,
+                "--executor", "batch", "--lanes", "1",
+                "-o", str(batch),
+            ]
+        )
+        assert rc == 0
+        assert batch.read_bytes() == serial.read_bytes()
+        capsys.readouterr()
+
+    def test_malformed_repro_batch_lanes_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BATCH_LANES", "many")
+        assert main(["campaign", *GRID]) == 2
+        assert "REPRO_BATCH_LANES" in capsys.readouterr().err
+
+    def test_nonpositive_repro_batch_lanes_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BATCH_LANES", "0")
+        assert main(["campaign", *GRID]) == 2
+        assert "REPRO_BATCH_LANES" in capsys.readouterr().err
+
+    def test_worker_command_forwards_lanes(self):
+        backend = SubprocessFleetBackend(workers=1, executor="batch", lanes=3)
+        command = backend.worker_command("spec.json")
+        assert "--lanes" in command
+        assert command[command.index("--lanes") + 1] == "3"
+        assert command[command.index("--executor") + 1] == "batch"
 
 
 class TestDispatchCommand:

@@ -13,6 +13,7 @@ import pytest
 from repro.attacks.campaign import CampaignSpec, EpisodeSpec
 from repro.attacks.fi import FaultType
 from repro.core.executor import (
+    BatchExecutor,
     EpisodeTask,
     ParallelExecutor,
     ProgressTracker,
@@ -108,6 +109,37 @@ class TestExecutorDeterminism:
             )
         assert len(campaign.results) == 2
 
+    def test_unpicklable_payload_in_later_position_falls_back(self):
+        # Campaigns mix arms: probing only tasks[0] would green-light a
+        # list whose lambda ml_factory sits further in and then explode
+        # inside the process pool mid-campaign.  A non-first non-picklable
+        # payload must fall back in-process just like a first one.
+        specs = [
+            EpisodeSpec(
+                scenario_id="S1",
+                initial_gap=60.0,
+                fault_type=FaultType.NONE,
+                repetition=rep,
+                seed=7 + rep,
+            )
+            for rep in range(3)
+        ]
+        tasks = [
+            EpisodeTask.make(spec, InterventionConfig(), max_steps=200)
+            for spec in specs[:2]
+        ] + [
+            EpisodeTask.make(
+                specs[2],
+                InterventionConfig(ml=True),
+                ml_factory=lambda: _DummyMl(),
+                max_steps=200,
+            )
+        ]
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            pooled = ParallelExecutor(jobs=2).run(tasks)
+        serial = SerialExecutor().run(tasks)
+        assert pooled == serial
+
     def test_single_task_short_circuits_to_serial(self):
         episodes = [
             EpisodeSpec(
@@ -191,6 +223,48 @@ class TestExecutorConstruction:
         tracker.advance(2)
         tracker.advance(3)
         assert calls == [(2, 5), (5, 5)]
+
+    def test_progress_tracker_rejects_negative_total(self):
+        with pytest.raises(ValueError, match="total"):
+            ProgressTracker(-1, None)
+
+    def test_progress_tracker_rejects_nonpositive_advance(self):
+        calls = []
+        tracker = ProgressTracker(3, lambda d, t: calls.append((d, t)))
+        with pytest.raises(ValueError, match="count"):
+            tracker.advance(0)
+        with pytest.raises(ValueError, match="count"):
+            tracker.advance(-2)
+        # A rejected advance must not move the counter or notify.
+        assert tracker.done == 0
+        assert calls == []
+
+    def test_progress_completes_under_chunked_batch_dispatch(self):
+        # 5 episodes through lanes=2 dispatch as chunks of 2/2/1; the
+        # (done, total) contract — monotonic, constant total, final call
+        # exactly (total, total) — must survive the uneven final chunk.
+        specs = [
+            EpisodeSpec(
+                scenario_id="S1",
+                initial_gap=60.0,
+                fault_type=FaultType.NONE,
+                repetition=rep,
+                seed=11 + rep,
+            )
+            for rep in range(5)
+        ]
+        tasks = [
+            EpisodeTask.make(spec, InterventionConfig(), max_steps=50)
+            for spec in specs
+        ]
+        calls = []
+        BatchExecutor(lanes=2).run(
+            tasks, progress=lambda d, t: calls.append((d, t))
+        )
+        dones = [d for d, _ in calls]
+        assert dones == sorted(dones)
+        assert all(t == 5 for _, t in calls)
+        assert calls[-1] == (5, 5)
 
 
 def _attacked_result() -> EpisodeResult:
