@@ -23,6 +23,7 @@ from repro.attacks.fi import FaultType
 from repro.core.executor import (
     BatchExecutor,
     ParallelExecutor,
+    PhaseProfile,
     SerialExecutor,
     available_cores,
 )
@@ -166,6 +167,14 @@ def _run_batch_campaign_with(executor):
     )
 
 
+def _phase_dict(profile):
+    """Per-phase seconds (control / dynamics / post-step tail), rounded."""
+    d = profile.as_dict()
+    return {
+        k: (round(v, 3) if isinstance(v, float) else v) for k, v in d.items()
+    }
+
+
 #: Unlike the process-pool bar above, the batch speedup is algorithmic —
 #: NumPy dispatch amortised across 96 lanes on a *single* core — so it
 #: does not need physical parallelism to hold.  It arms on any host with
@@ -183,12 +192,14 @@ def test_batch_speedup_report(capsys):
     JSON line — also written to ``$REPRO_BENCH_JSON`` when set — is the
     durable record that seeds the bench trajectory.
     """
+    serial_profile = PhaseProfile()
     started = time.perf_counter()
-    serial = _run_batch_campaign_with(SerialExecutor())
+    serial = _run_batch_campaign_with(SerialExecutor(profile=serial_profile))
     serial_s = time.perf_counter() - started
 
+    batch_profile = PhaseProfile()
     started = time.perf_counter()
-    batch = _run_batch_campaign_with(BatchExecutor())
+    batch = _run_batch_campaign_with(BatchExecutor(profile=batch_profile))
     batch_s = time.perf_counter() - started
 
     assert batch.results == serial.results  # bit-identical, always
@@ -203,6 +214,10 @@ def test_batch_speedup_report(capsys):
         "batch_eps_per_s": round(episodes / batch_s, 3),
         "speedup": round(serial_s / batch_s, 3),
         "available_cores": available_cores(),
+        "phases": {
+            "serial": _phase_dict(serial_profile),
+            "batch": _phase_dict(batch_profile),
+        },
     }
     line = json.dumps(record, sort_keys=True)
     out_path = os.environ.get("REPRO_BENCH_JSON")

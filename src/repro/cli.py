@@ -148,7 +148,7 @@ from repro.core.cache import (
     verify_cache,
     write_digest_sidecar,
 )
-from repro.core.executor import EXECUTOR_NAMES
+from repro.core.executor import EXECUTOR_NAMES, PhaseProfile, resolve_executor
 from repro.core.experiment import merge_shards, run_campaign
 from repro.core.scheduler import (
     SchedulerError,
@@ -534,6 +534,20 @@ def _check_shard_name_order(paths) -> Optional[str]:
     return None
 
 
+def _print_profile(profile: PhaseProfile) -> None:
+    """Per-phase wall-clock breakdown of a profiled campaign run."""
+    total = profile.total_s
+    print(f"per-phase wall-clock over {profile.steps} steps:")
+    for name, secs in (
+        ("control", profile.control_s),
+        ("dynamics", profile.dynamics_s),
+        ("post-step tail", profile.post_s),
+    ):
+        share = 100.0 * secs / total if total > 0.0 else 0.0
+        print(f"  {name:<15s}{secs:9.3f} s  ({share:5.1f}%)")
+    print(f"  {'total':<15s}{total:9.3f} s")
+
+
 def _persistence_kwargs(args, campaign, interventions, ml_token=None) -> dict:
     """``run_campaign`` keyword arguments from grid-command flags."""
     kwargs = {
@@ -776,6 +790,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(camp)
     _add_executor_flag(camp)
+    camp.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase wall-clock breakdown (control / dynamics / "
+        "post-step tail) after the run; serial and batch executors only "
+        "(parallel steps episodes in worker processes)",
+    )
     _add_cache_flag(camp)
     _add_backend_flags(camp)
     _add_dispatch_tuning_flags(camp)
@@ -1074,6 +1095,11 @@ def _run(args) -> int:
                     "--backend resumes shards from --workdir automatically; "
                     "drop --resume (or dispatch without --backend)"
                 )
+        if getattr(args, "profile", False) and scheduled:
+            raise ValueError(
+                "--profile times the step loop in-process; --backend "
+                "dispatches episodes to worker processes — drop one of them"
+            )
         # ValueError (including UnknownScenarioError) propagates to main()'s
         # umbrella handler: one "repro: error" formatter, one exit code.
         spec = _campaign_spec_from_args(args)
@@ -1125,11 +1151,20 @@ def _run(args) -> int:
             f"running {len(episodes)} episodes under {cfg.label()}{shard_note} ...",
             file=sys.stderr,
         )
+        profile = None
+        executor = args.executor
+        if getattr(args, "profile", False):
+            # Resolve to a concrete in-process backend now so a parallel
+            # selection fails before any episode runs.
+            profile = PhaseProfile()
+            executor = resolve_executor(
+                args.executor, jobs=args.jobs, lanes=args.lanes, profile=profile
+            )
         campaign = run_campaign(
             episodes,
             cfg,
             jobs=args.jobs,
-            executor=args.executor,
+            executor=executor,
             lanes=args.lanes,
             cache=cache,
             resume_path=output if args.resume else None,
@@ -1145,6 +1180,8 @@ def _run(args) -> int:
                 output, campaign_digest(episodes, cfg, **platform_kwargs)
             )
         print(f"wrote {len(campaign.results)} episodes -> {output}")
+        if profile is not None:
+            _print_profile(profile)
         return 0
 
     if args.command == "worker":

@@ -534,7 +534,8 @@ def default_cache(create: bool = True) -> Optional[CampaignCache]:
             message names the variable — a misconfigured environment must
             fail fast, not as a traceback deep inside a campaign run.
     """
-    root = os.environ.get("REPRO_CACHE_DIR")
+    # Cache *location* only — never part of any digest.
+    root = os.environ.get("REPRO_CACHE_DIR")  # repro-lint: disable=env-read-in-canonical
     if not root:
         return None
     try:

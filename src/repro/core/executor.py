@@ -42,6 +42,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import as_completed
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.attacks.campaign import EpisodeSpec
@@ -87,6 +88,40 @@ class EpisodeTask:
         )
 
 
+@dataclass
+class PhaseProfile:
+    """Accumulated wall-clock per simulation pipeline phase.
+
+    The three phases partition one step of the platform loop: ``control``
+    (perception → arbitration → actuation), ``dynamics`` (the physics
+    integrate), and ``post`` (the post-step tail: metric accumulation,
+    hazard detection, episode retirement).  ``steps`` counts lane-steps,
+    so ``total_s / steps`` is the mean wall-clock per episode-step under
+    either executor.  Profiling only reads the clock around existing
+    calls — it never changes the call sequence, so profiled runs stay
+    bit-identical to unprofiled ones.
+    """
+
+    control_s: float = 0.0
+    dynamics_s: float = 0.0
+    post_s: float = 0.0
+    steps: int = 0
+
+    @property
+    def total_s(self) -> float:
+        """Wall-clock across all three phases [s]."""
+        return self.control_s + self.dynamics_s + self.post_s
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-safe record (bench JSON / CLI reporting)."""
+        return {
+            "control_s": self.control_s,
+            "dynamics_s": self.dynamics_s,
+            "post_s": self.post_s,
+            "steps": self.steps,
+        }
+
+
 def execute_task(task: EpisodeTask) -> EpisodeResult:
     """Run one :class:`EpisodeTask` to completion (the worker entry point).
 
@@ -104,6 +139,41 @@ def execute_task(task: EpisodeTask) -> EpisodeResult:
         **dict(task.platform_kwargs),
     )
     return platform.run()
+
+
+def execute_task_profiled(task: EpisodeTask, profile: PhaseProfile) -> EpisodeResult:
+    """:func:`execute_task` with per-phase wall-clock accumulation.
+
+    Replays ``SimulationPlatform.run`` phase by phase with a counter read
+    between phases; the call sequence (and therefore the result) is
+    identical to the unprofiled path.
+    """
+    from repro.core.platform import SimulationPlatform
+
+    controller = task.ml_factory() if task.ml_factory is not None else None
+    platform = SimulationPlatform(
+        task.spec,
+        task.interventions,
+        ml_controller=controller,
+        **dict(task.platform_kwargs),
+    )
+    result = platform._begin_episode()
+    for step_index in range(platform.max_steps):
+        t0 = perf_counter()
+        platform._control_phase(step_index, result)
+        t1 = perf_counter()
+        platform.world.step(platform.dt)
+        t2 = perf_counter()
+        finished = platform._after_dynamics(step_index, result)
+        t3 = perf_counter()
+        profile.control_s += t1 - t0
+        profile.dynamics_s += t2 - t1
+        profile.post_s += t3 - t2
+        profile.steps += 1
+        if finished:
+            break
+    platform._finish_episode(result)
+    return result
 
 
 def _execute_chunk(tasks: Sequence[EpisodeTask]) -> List[EpisodeResult]:
@@ -165,7 +235,20 @@ class CampaignExecutor(abc.ABC):
 
 
 class SerialExecutor(CampaignExecutor):
-    """In-process, in-order execution (the reference backend)."""
+    """In-process, in-order execution (the reference backend).
+
+    Args:
+        profile: optional :class:`PhaseProfile` to accumulate per-phase
+            step timing into (``repro campaign --profile``); results are
+            unaffected.
+    """
+
+    #: Class-level default so subclasses with bare ``__init__``
+    #: overrides (test doubles predating profiling) stay unprofiled.
+    profile: Optional[PhaseProfile] = None
+
+    def __init__(self, profile: Optional[PhaseProfile] = None) -> None:
+        self.profile = profile
 
     def run(
         self,
@@ -175,7 +258,10 @@ class SerialExecutor(CampaignExecutor):
         tracker = ProgressTracker(len(tasks), progress)
         results: List[EpisodeResult] = []
         for task in tasks:
-            results.append(execute_task(task))
+            if self.profile is not None:
+                results.append(execute_task_profiled(task, self.profile))
+            else:
+                results.append(execute_task(task))
             tracker.advance()
         return results
 
@@ -297,12 +383,20 @@ class BatchExecutor(CampaignExecutor):
         lanes: cap on episodes stepped together (``None`` = one batch per
             ``dt`` group).  Smaller caps bound memory; larger caps
             amortise NumPy dispatch overhead better.
+        profile: optional :class:`PhaseProfile` to accumulate per-phase
+            step timing into (``steps`` counts lane-steps); results are
+            unaffected.
     """
 
-    def __init__(self, lanes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        lanes: Optional[int] = None,
+        profile: Optional[PhaseProfile] = None,
+    ) -> None:
         if lanes is not None and lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes}")
         self.lanes = lanes
+        self.profile = profile
         self.jobs = 1
 
     def run(
@@ -324,8 +418,8 @@ class BatchExecutor(CampaignExecutor):
                 self._run_batch(tasks, indices[i : i + width], results, tracker)
         return results  # type: ignore[return-value]
 
-    @staticmethod
     def _run_batch(
+        self,
         tasks: Sequence[EpisodeTask],
         indices: Sequence[int],
         results: List[Optional[EpisodeResult]],
@@ -334,6 +428,7 @@ class BatchExecutor(CampaignExecutor):
         """Run one same-``dt`` group of episodes in lockstep."""
         from repro.core.platform import SimulationPlatform
         from repro.sim.batch_control import BatchControlStack
+        from repro.sim.batch_hazards import BatchHazardMonitor
         from repro.sim.batch_state import BatchDynamics
 
         platforms = []
@@ -364,6 +459,10 @@ class BatchExecutor(CampaignExecutor):
             human_leads=any(platform.driver is not None for platform in platforms),
         )
         stack = BatchControlStack(platforms, dynamics)
+        hazards = BatchHazardMonitor(
+            [platform.hazards for platform in platforms], dynamics
+        )
+        profile = self.profile
         dt = platforms[0].dt
         episodes = [platform._begin_episode() for platform in platforms]
         steps = [0] * len(platforms)
@@ -372,25 +471,47 @@ class BatchExecutor(CampaignExecutor):
         # step-0 world-query caches must be primed from the initial state.
         dynamics.prime(active)
         while active:
+            t0 = perf_counter() if profile is not None else 0.0
             vector_lanes = [lane for lane in active if lane in stack.vector_set]
             stack.step_control(vector_lanes)
             for lane in active:
                 if lane not in stack.vector_set:
                     platforms[lane]._control_phase(steps[lane], episodes[lane])
+            if profile is not None:
+                t1 = perf_counter()
+                profile.control_s += t1 - t0
             dynamics.step(active, dt)
+            if profile is not None:
+                t2 = perf_counter()
+                profile.dynamics_s += t2 - t1
+                profile.steps += len(active)
             stack.accumulate(vector_lanes)
+            # Masked hazard screen: only lanes where the scalar monitor
+            # could mark or latch something this step run it; the mask is
+            # exact, so quiet lanes skip the per-lane update entirely.
+            haz_flags = hazards.screen(active)
             remaining = []
-            for lane in active:
+            for pos, lane in enumerate(active):
                 platform = platforms[lane]
                 if lane in stack.vector_set:
                     # The intervention recorders already ran vectorized in
-                    # step_control; only hazard detection remains per lane.
-                    finished = platform._close_step(steps[lane], episodes[lane])
+                    # step_control; only mask-flagged hazard detection
+                    # remains per lane.
+                    if haz_flags[pos]:
+                        finished = platform._close_step(
+                            steps[lane], episodes[lane]
+                        )
+                        hazards.refresh(lane)
+                    else:
+                        finished = False
                 else:
                     finished = platform._after_dynamics(steps[lane], episodes[lane])
                 steps[lane] += 1
                 if finished or steps[lane] >= platform.max_steps:
                     if lane in stack.vector_set:
+                        # Quiet steps skip the per-step counter write, so
+                        # stamp the final step count before retirement.
+                        episodes[lane].steps = steps[lane]
                         stack.retire(lane, episodes[lane])
                     platform._finish_episode(episodes[lane])
                     results[indices[lane]] = episodes[lane]
@@ -398,6 +519,8 @@ class BatchExecutor(CampaignExecutor):
                 else:
                     remaining.append(lane)
             active = remaining
+            if profile is not None:
+                profile.post_s += perf_counter() - t2
 
 
 def available_cores() -> int:
@@ -492,6 +615,7 @@ def resolve_executor(
     executor: "str | CampaignExecutor | None",
     jobs: Optional[int] = None,
     lanes: Optional[int] = None,
+    profile: Optional[PhaseProfile] = None,
 ) -> CampaignExecutor:
     """Resolve an executor argument (name, instance or ``None``).
 
@@ -503,20 +627,36 @@ def resolve_executor(
         lanes: lockstep lane cap for the ``"batch"`` case; ``None`` defers
             to :func:`default_batch_lanes` (the ``REPRO_BATCH_LANES``
             environment variable, then uncapped).
+        profile: a :class:`PhaseProfile` to accumulate per-phase timing
+            into.  Only the in-process backends can time the step loop:
+            resolving to the parallel executor with a profile raises.
 
     Raises:
-        ValueError: on an unknown executor name.
+        ValueError: on an unknown executor name, or on ``profile`` with
+            the parallel backend.
     """
     if executor is None:
-        return make_executor(jobs)
+        if profile is None:
+            return make_executor(jobs)
+        executor = (
+            "parallel" if (jobs if jobs is not None else default_jobs()) > 1
+            else "serial"
+        )
     if isinstance(executor, str):
         if executor == "serial":
-            return SerialExecutor()
+            return SerialExecutor(profile=profile)
         if executor == "parallel":
+            if profile is not None:
+                raise ValueError(
+                    "per-phase profiling times the step loop in-process; "
+                    "the parallel executor runs episodes in worker "
+                    "processes — use the serial or batch executor"
+                )
             return ParallelExecutor(jobs=jobs if jobs is not None else default_jobs())
         if executor == "batch":
             return BatchExecutor(
-                lanes=lanes if lanes is not None else default_batch_lanes()
+                lanes=lanes if lanes is not None else default_batch_lanes(),
+                profile=profile,
             )
         raise ValueError(
             f"unknown executor {executor!r}; expected one of "

@@ -987,7 +987,10 @@ class SSHBackend(SubprocessFleetBackend):
         **kwargs,
     ) -> None:
         super().__init__(workers=workers, **kwargs)
-        template = command_template or os.environ.get("REPRO_SSH_COMMAND")
+        # Transport configuration only — never part of any digest.
+        template = command_template or os.environ.get(  # repro-lint: disable=env-read-in-canonical
+            "REPRO_SSH_COMMAND"
+        )
         if not template:
             raise ValueError(
                 "the ssh backend needs a command template (e.g. "

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import repro.lint.checks.rng  # noqa: F401
 import repro.lint.checks.wallclock  # noqa: F401
+import repro.lint.checks.env_read  # noqa: F401
 import repro.lint.checks.fs_order  # noqa: F401
 import repro.lint.checks.set_order  # noqa: F401
 import repro.lint.checks.pickle_safety  # noqa: F401

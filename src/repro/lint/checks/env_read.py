@@ -1,0 +1,74 @@
+"""Rule ``env-read-in-canonical``: environment reads in canonical modules.
+
+A digest or canonical form that consults ``os.environ`` changes meaning
+with the caller's shell: the same campaign hashes differently on two
+hosts (cache misses that look like corruption), or worse, two different
+configurations collide under one digest because the distinguishing knob
+lived in the environment instead of the canonical form.  Canonical
+modules must take every input as an explicit parameter.
+
+The rule runs only on files holding the ``canonical`` role (see
+:data:`repro.lint.rules.DEFAULT_ROLE_SUFFIXES` and the
+``# repro-lint: role=canonical`` pragma).  Worker/CLI modules resolving
+defaults (``REPRO_JOBS``, ``REPRO_BATCH_LANES``) are out of scope by
+construction — they hold the ``worker`` role.
+
+Legitimate environment reads inside a canonical module (a *location*
+default like the cache directory, which never reaches a digest) take a
+line pragma with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, LintRule, register_rule
+
+#: Dotted call names that read the process environment.  Bare forms
+#: cover ``from os import getenv`` / ``from os import environ``.
+_ENV_CALLS = {
+    "os.getenv",
+    "os.environ.get",
+    "getenv",
+    "environ.get",
+}
+
+#: Dotted names whose subscripts (``os.environ["X"]``) are env access.
+_ENV_MAPPINGS = {
+    "os.environ",
+    "environ",
+}
+
+
+class EnvReadRule(LintRule):
+    rule_id = "env-read-in-canonical"
+    title = "environment read inside a digest/canonical module"
+    required_role = "canonical"
+
+    def check(self, context: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                dotted = context.dotted_name(node.func)
+                if dotted in _ENV_CALLS:
+                    findings.append(self._flag(context, node, dotted))
+            elif isinstance(node, ast.Subscript):
+                dotted = context.dotted_name(node.value)
+                if dotted in _ENV_MAPPINGS:
+                    findings.append(self._flag(context, node, dotted))
+        return findings
+
+    def _flag(self, context: FileContext, node: ast.AST, dotted: str) -> Finding:
+        return self.finding(
+            context,
+            node,
+            f"{dotted} in a canonical/digest module: an environment "
+            "variable makes canonical forms differ between hosts; take "
+            "the value as an explicit parameter, or pragma with a "
+            "justification if it provably never reaches a digest",
+        )
+
+
+register_rule(EnvReadRule())

@@ -11,7 +11,8 @@ accelerates / decelerates / stops / cuts in when the ego closes in).
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol, Tuple, Type
 
 from repro.sim.vehicle import EgoVehicle, KinematicActor
 from repro.utils.mathx import clamp
@@ -174,3 +175,76 @@ class AgentBinding:
         """Tick the behaviour (if any)."""
         if self.behavior is not None:
             self.behavior.update(self.actor, ego, t)
+
+
+# --------------------------------------------------------------------- #
+# Behaviour registry (the ``ParamSpec``-shaped schema idiom from
+# ``sim/families.py``, applied to behaviours)
+# --------------------------------------------------------------------- #
+
+#: The closed built-in behaviour set, by kind name.  Each entry maps the
+#: kind to its class and the ordered constructor-parameter names, which is
+#: what lets a behaviour round-trip through :class:`BehaviorSpec` (and
+#: lets the batch engine freeze the parameters into arrays).  Third-party
+#: behaviours are simply absent: :func:`behavior_kind` returns ``None``
+#: for them and every consumer falls back to the per-actor ``update``.
+BEHAVIOR_REGISTRY: Dict[str, Tuple[Type, Tuple[str, ...]]] = {
+    "cruise": (CruiseBehavior, ("speed", "gain")),
+    "speed_change": (
+        SpeedChangeBehavior,
+        ("initial_speed", "final_speed", "trigger_gap", "rate"),
+    ),
+    "sudden_stop": (SuddenStopBehavior, ("speed", "trigger_gap", "decel")),
+    "cut_in": (CutInBehavior, ("speed", "trigger_gap", "target_d")),
+    "lane_change_away": (
+        LaneChangeAwayBehavior,
+        ("speed", "trigger_gap", "target_d"),
+    ),
+}
+
+_KIND_BY_TYPE: Dict[type, str] = {
+    cls: kind for kind, (cls, _) in BEHAVIOR_REGISTRY.items()
+}
+
+
+@dataclass(frozen=True)
+class BehaviorSpec:
+    """Declarative form of a registered behaviour: kind + parameters.
+
+    Only construction parameters are captured — trigger latches and other
+    episode state stay on the live object.  ``params`` is an ordered
+    ``(name, value)`` tuple so specs are hashable and digest-stable.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, float], ...]
+
+
+def behavior_kind(behavior: object) -> Optional[str]:
+    """The registry kind of ``behavior``, or ``None`` for unknown types.
+
+    The lookup is by *exact* type: a subclass may override ``update`` with
+    arbitrary semantics, so it must not match its base class's fast path.
+    """
+    return _KIND_BY_TYPE.get(type(behavior))
+
+
+def behavior_spec(behavior: object) -> Optional[BehaviorSpec]:
+    """Extract the :class:`BehaviorSpec` of a registered behaviour."""
+    kind = behavior_kind(behavior)
+    if kind is None:
+        return None
+    _, names = BEHAVIOR_REGISTRY[kind]
+    return BehaviorSpec(
+        kind=kind, params=tuple((name, getattr(behavior, name)) for name in names)
+    )
+
+
+def build_behavior(spec: BehaviorSpec) -> Behavior:
+    """Construct a fresh behaviour from its spec.
+
+    Raises:
+        KeyError: on an unregistered kind.
+    """
+    cls, _ = BEHAVIOR_REGISTRY[spec.kind]
+    return cls(**dict(spec.params))

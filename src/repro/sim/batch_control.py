@@ -639,12 +639,16 @@ class BatchControlStack:
             fcw_l = fcw.tolist()
             ldw_l = ldw_active.tolist()
             aeb_on_l = (aeb_out_phase > 0).tolist()
+            # The driver only consumes the cut-in *presence* bit, which the
+            # batch screen computes exactly ("some agent matches" is "the
+            # scalar scan returns non-None") — no per-lane re-scan needed.
+            cut_l = view.cut_in[pos].tolist()
             for j in drv_sub:
                 lane = key[j]
                 platform = self.platforms[lane]
                 drv = platform.driver
-                cut = platform.sensor.cut_in()
-                if not busy[j] and cut is None:
+                cut = cut_l[j]
+                if not busy[j] and not cut:
                     action = self._drv_idle_action[lane]
                     if action is None:
                         action = DriverAction(
@@ -673,7 +677,7 @@ class BatchControlStack:
                         ego_accel=ego.accel,
                         gap=gap,
                         closing=closing,
-                        cut_in=cut is not None,
+                        cut_in=cut,
                         dist_right=dr_l[j],
                         dist_left=dl_l[j],
                         lateral_offset=d_l[j]

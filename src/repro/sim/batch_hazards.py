@@ -1,0 +1,107 @@
+"""Lane-wide hazard/accident screening for the batch engine.
+
+:class:`BatchHazardMonitor` evaluates the H1 TTC/headway rules, the H2
+lane-line rule and the A1/A2 accident latches of
+:class:`repro.core.hazards.HazardMonitor` as float64 expressions over the
+already-batched kinematic state, producing a per-lane **masked screen**:
+"no lane can possibly mark or latch anything this step".  On quiet steps
+(the overwhelming majority) the executor skips the per-lane scalar
+``HazardMonitor.update`` entirely; only mask-flagged lanes run it, so the
+scalar :class:`~repro.core.hazards.HazardRecord` latches — what episode
+retirement reads — are written by exactly the same code as on the serial
+path, bit-identically.
+
+The screen is *exact*, not an over-approximation:
+
+* the default-corridor lead view in ``BatchDynamics.control_view`` holds
+  precisely the gap/speed the scalar ``world.lead_actor()`` +
+  ``max(0.0, lead.rear_s - ego.front_s)`` computation produces (same
+  operand association, same signed-zero ``max`` replication);
+* the TTC division is evaluated everywhere but consulted only where
+  ``closing > 0.3`` — exactly the scalar short-circuit;
+* already-latched hazards are masked out with per-lane done bits (a
+  ``mark`` on a latched record is a no-op), refreshed from the scalar
+  records whenever a flagged lane runs;
+* a latched *accident* retires the lane on the same step, so active lanes
+  never exercise the monitor's accident short-circuit.
+
+Non-vector lanes (ML / trace recording) run the full scalar
+``_after_dynamics`` path and their mask bits are never consulted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.hazards import HazardMonitor
+from repro.sim.batch_state import BatchDynamics
+
+
+class BatchHazardMonitor:
+    """Masked hazard screen over the lanes of one batch.
+
+    Args:
+        monitors: per-lane hazard monitors, in batch-lane order.
+        dynamics: the batch integrator whose bound state and
+            ``control_view`` the screen reads (call :meth:`screen` only
+            right after ``dynamics.step`` for the same active set).
+    """
+
+    def __init__(
+        self, monitors: Sequence[HazardMonitor], dynamics: BatchDynamics
+    ) -> None:
+        self.monitors: List[HazardMonitor] = list(monitors)
+        self.dynamics = dynamics
+        self._ttc_thr = np.array([m.ttc_hazard_threshold for m in self.monitors])
+        self._headway = np.array([m.headway_fraction for m in self.monitors])
+        self._lane_thr = np.array([m.lane_distance_hazard for m in self.monitors])
+        self._h1_done = np.array([m.h1.occurred for m in self.monitors])
+        self._h2_done = np.array([m.h2.occurred for m in self.monitors])
+
+    def screen(self, lanes: Sequence[int]) -> List[bool]:
+        """Per-lane "the scalar update could mark or latch something" bits.
+
+        ``lanes`` must be the active set the dynamics last stepped (its
+        binding and control view are reused, not recomputed).
+        """
+        dyn = self.dynamics
+        key = tuple(lanes)
+        view = dyn.control_view
+        if view is None or view.key != key:
+            raise RuntimeError(
+                "hazard screen requires a control view for the active set; "
+                "call BatchDynamics.step/prime first"
+            )
+        b = dyn._bind(key)
+        idx = np.asarray(key, dtype=np.intp)
+
+        # H1: TTC below threshold, or gap below the headway-seconds rule.
+        lead = view.leads[0]  # config 0 is always world.lead_actor()'s
+        speed = b.speed
+        closing = speed - lead.speed
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ttc_fire = (closing > 0.3) & (
+                lead.gap / closing < self._ttc_thr[idx]
+            )
+        h1 = lead.valid & (ttc_fire | (lead.gap < self._headway[idx] * speed))
+
+        # H2: a body side within the lane-line hazard distance.
+        h2 = (
+            np.minimum(view.dist_right, view.dist_left) < self._lane_thr[idx]
+        )
+
+        # A1/A2: the world latches the batch detectors already maintain.
+        accident = ~b.coll_open | b.off_road_latch
+
+        flags = (
+            (h1 & ~self._h1_done[idx]) | (h2 & ~self._h2_done[idx]) | accident
+        )
+        return flags.tolist()
+
+    def refresh(self, lane: int) -> None:
+        """Re-read a lane's scalar records after its monitor ran."""
+        monitor = self.monitors[lane]
+        self._h1_done[lane] = monitor.h1.occurred
+        self._h2_done[lane] = monitor.h2.occurred

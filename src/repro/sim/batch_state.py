@@ -10,13 +10,16 @@ sensor corridor, lane-line distances, look-ahead road curvature — for all
 lanes at once and deposits them in each world's ``_step_cache``, which the
 per-lane query methods consult before falling back to their scalar scans.
 
-Everything *else* — traffic behaviours, collision/departure detection, the
-whole perception/control/safety stack — keeps running on the ordinary
-per-lane objects, which is what makes the batch path produce
-**bit-identical** episode results to the serial path:
+Everything *else* — collision/departure detection, the whole
+perception/control/safety stack — keeps running on the ordinary per-lane
+objects, which is what makes the batch path produce **bit-identical**
+episode results to the serial path:
 
-* behaviours mutate ``actor.accel_cmd`` / ``actor.d_target`` exactly as in
-  ``World.step`` (they run per lane, before the integrate);
+* behaviours run through :class:`repro.sim.batch_agents.BehaviorBatch`,
+  which replicates the built-in behaviour set as array expressions (and
+  falls back to the scalar per-actor loop on lanes with unknown
+  behaviours); the resulting ``accel_cmd`` / ``d_target`` are scattered
+  back onto the actors every step, exactly as in ``World.step``;
 * the vectorized math uses only IEEE-754 elementwise operations
   (``+ - * / sqrt copysign abs`` and comparisons), which NumPy evaluates
   bit-identically to the scalar Python expressions they replace;
@@ -42,7 +45,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.sim.sensors import HUMAN_CORRIDOR, RADAR_CORRIDOR
+from repro.sim.batch_agents import BehaviorBatch
+from repro.sim.sensors import CUT_IN_GAP_RANGE, HUMAN_CORRIDOR, RADAR_CORRIDOR
 from repro.sim.world import World
 from repro.utils.npmath import (
     np_clamp as _np_clamp,
@@ -151,6 +155,8 @@ class BatchDynamics:
         self._slot_len_by_lane = [
             [a.params.length for a in actors] for actors in self._actors_by_lane
         ]
+        # Vectorized behaviour updates (scalar fallback per unknown lane).
+        self.behaviors = BehaviorBatch(self.worlds)
 
         # Lead-query configurations to pre-compute each step, as per-lane
         # (max_range, corridor) pairs.  Deduplicated so the common case
@@ -384,12 +390,13 @@ class BatchDynamics:
         if dt <= 0.0:
             raise ValueError(f"dt must be positive, got {dt}")
         b = self._bind(lanes)
+        key = self._bound_key
 
-        # Behaviours run per lane *before* the integrate (they set the
-        # actor commands the integrate consumes), exactly as World.step.
-        for world in b.worlds:
-            for binding in world.agents:
-                binding.update(world.ego, world.time)
+        # Behaviours run *before* the integrate (they set the actor
+        # commands the integrate consumes), exactly as World.step — but
+        # vectorized over lanes, with scalar fallback per unknown lane.
+        if b.actors:
+            a_cmd_accel, a_cmd_dt = self.behaviors.update(b, key)
 
         egos = b.egos
 
@@ -497,27 +504,35 @@ class BatchDynamics:
         a_s_pad = np.zeros((n_active, b.max_slots))
         a_d_pad = np.zeros((n_active, b.max_slots))
         a_speed_pad = np.zeros((n_active, b.max_slots))
+        a_dt_pad = np.zeros((n_active, b.max_slots))
         if b.actors:
-            a_cmd = np.array([(a.accel_cmd, a.d_target) for a in b.actors])
-            a_accel = _np_clamp(a_cmd[:, 0], -b.actor_limit, b.actor_limit)
+            a_accel = _np_clamp(a_cmd_accel, -b.actor_limit, b.actor_limit)
             a_next = b.a_speed + a_accel * dt
             a_speed = np.where(a_next > 0.0, a_next, 0.0)
             a_s = b.a_s + a_speed * dt
-            a_d = _np_rate_limit(b.a_d, a_cmd[:, 1], b.actor_rate * dt)
+            a_d = _np_rate_limit(b.a_d, a_cmd_dt, b.actor_rate * dt)
             b.a_speed = a_speed
             b.a_s = a_s
             b.a_d = a_d
 
-            a_out = np.stack((a_accel, a_speed, a_s, a_d), axis=1).tolist()
+            # The command columns ride along so the actor objects always
+            # carry the behaviour outputs (scalar fallbacks — cut-in scans,
+            # re-binds, direct world queries — read them from the objects).
+            a_out = np.stack(
+                (a_accel, a_speed, a_s, a_d, a_cmd_accel, a_cmd_dt), axis=1
+            ).tolist()
             for j, actor in enumerate(b.actors):
                 row = a_out[j]
                 actor.accel = row[0]
                 actor.speed = row[1]
                 actor.s = row[2]
                 actor.d = row[3]
+                actor.accel_cmd = row[4]
+                actor.d_target = row[5]
             a_s_pad[b.flat_lane, b.flat_slot] = a_s
             a_d_pad[b.flat_lane, b.flat_slot] = a_d
             a_speed_pad[b.flat_lane, b.flat_slot] = a_speed
+            a_dt_pad[b.flat_lane, b.flat_slot] = a_cmd_dt
 
         # -------- time advance ---------------------------------------- #
         for world in b.worlds:
@@ -551,7 +566,9 @@ class BatchDynamics:
             b.off_road_latch[j] = world.off_road
 
         # -------- step-cache populate (pure queries, post-step) ------- #
-        self._populate_caches(b, s, d, speed, a_s_pad, a_d_pad, a_speed_pad)
+        self._populate_caches(
+            b, s, d, speed, a_s_pad, a_d_pad, a_speed_pad, a_dt_pad
+        )
 
     def prime(self, lanes: Sequence[int]) -> None:
         """Pre-populate the step caches from the *current* (unstepped) state.
@@ -566,11 +583,15 @@ class BatchDynamics:
         a_s_pad = np.zeros((n_active, b.max_slots))
         a_d_pad = np.zeros((n_active, b.max_slots))
         a_speed_pad = np.zeros((n_active, b.max_slots))
+        a_dt_pad = np.zeros((n_active, b.max_slots))
         if b.actors:
             a_s_pad[b.flat_lane, b.flat_slot] = b.a_s
             a_d_pad[b.flat_lane, b.flat_slot] = b.a_d
             a_speed_pad[b.flat_lane, b.flat_slot] = b.a_speed
-        self._populate_caches(b, b.s, b.d, b.speed, a_s_pad, a_d_pad, a_speed_pad)
+            a_dt_pad[b.flat_lane, b.flat_slot] = [a.d_target for a in b.actors]
+        self._populate_caches(
+            b, b.s, b.d, b.speed, a_s_pad, a_d_pad, a_speed_pad, a_dt_pad
+        )
 
     # ------------------------------------------------------------------ #
     # Per-step query pre-computation
@@ -585,6 +606,7 @@ class BatchDynamics:
         a_s_pad: np.ndarray,
         a_d_pad: np.ndarray,
         a_speed_pad: np.ndarray,
+        a_dt_pad: np.ndarray,
     ) -> None:
         """Vectorized replicas of the per-step pure world queries.
 
@@ -657,6 +679,27 @@ class BatchDynamics:
                 SimpleNamespace(valid=has_lead, gap=best_gap, speed=lead_speed)
             )
 
+        # GroundTruthSensor.cut_in screen: the exact per-agent predicate,
+        # broadcast over agents x lanes and reduced with any().  cut_in()
+        # returns the *first* matching agent, so "some agent matches" is
+        # exactly "the scalar scan returns non-None"; lanes where it holds
+        # get no cache entry and fall back to the scalar scan (preserving
+        # the first-match observation), quiet lanes cache the None.
+        if b.max_slots:
+            gap_all = (a_s_pad - b.slot_half_len) - (s + b.ego_half_len)[:, None]
+            delta = a_dt_pad - a_d_pad
+            cut_arr = (
+                b.valid
+                & (np.abs(a_d_pad - d[:, None]) > b.half_lane[:, None])
+                & (gap_all > -5.0)
+                & (gap_all < CUT_IN_GAP_RANGE)
+                & (delta * (d[:, None] - a_d_pad) > 0.0)
+                & (np.abs(delta) > 0.3)
+            ).any(axis=1)
+        else:
+            cut_arr = np.zeros(n_active, dtype=bool)
+        cut_flagged = cut_arr.tolist()
+
         self.control_view = SimpleNamespace(
             key=self._bound_key,
             dist_right=dist_right_arr,
@@ -664,8 +707,10 @@ class BatchDynamics:
             lane_center=center,
             curvature=curv_arr,
             leads=lead_views,
+            cut_in=cut_arr,
         )
 
+        cut_key = ("cut_in", CUT_IN_GAP_RANGE)
         for j, world in enumerate(b.worlds):
             cache = {"time": world.time, "lld": (dist_right[j], dist_left[j])}
             if curv_vals is not None:
@@ -674,4 +719,6 @@ class BatchDynamics:
             for keys, slots in lead_slots:
                 slot = slots[j]
                 cache[keys[j]] = actors[slot] if slot >= 0 else None
+            if not cut_flagged[j]:
+                cache[cut_key] = None
             world._step_cache = cache

@@ -26,6 +26,11 @@ RADAR_CORRIDOR = 3.5
 #: (see :meth:`GroundTruthSensor.lead_human`).
 HUMAN_CORRIDOR = 3.2
 
+#: Default longitudinal search range [m] of the cut-in scan (see
+#: :meth:`GroundTruthSensor.cut_in`); the batch engine pre-computes the
+#: scan for exactly this range.
+CUT_IN_GAP_RANGE = 60.0
+
 
 @dataclass(frozen=True)
 class LeadMeasurement:
@@ -139,13 +144,27 @@ class GroundTruthSensor:
             lateral_offset=actor.d - self.world.road.lane_center(0),
         )
 
-    def cut_in(self, gap_range: float = 60.0) -> Optional[CutInObservation]:
+    def cut_in(
+        self, gap_range: float = CUT_IN_GAP_RANGE
+    ) -> Optional[CutInObservation]:
         """Detect a vehicle encroaching from an adjacent lane.
 
         A driver notices a cut-in when a nearby adjacent-lane vehicle has
         visible lateral motion toward the ego lane (Table II's "Other
         Vehicle Cutting in" trigger).
+
+        The batch engine screens this scan lane-wide and caches a ``None``
+        for every lane where no agent can match; only mask-flagged lanes
+        fall through to the per-agent loop below (whose first-match order
+        the screen cannot reproduce, only predict the existence of).
         """
+        world = self.world
+        cache = world._step_cache
+        if cache is not None and cache["time"] == world.time:
+            try:
+                return cache[("cut_in", gap_range)]
+            except KeyError:
+                pass
         ego = self.world.ego
         lane_half = 0.5 * self.world.road.lane_width
         for binding in self.world.agents:

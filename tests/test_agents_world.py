@@ -232,3 +232,138 @@ class TestFriction:
     def test_max_deceleration(self):
         cond = FrictionCondition("wet", 0.5)
         assert cond.max_deceleration == pytest.approx(4.9)
+
+
+class TestBehaviorRegistry:
+    def test_behavior_kind_exact_type_only(self):
+        from repro.sim.agents import behavior_kind
+
+        assert behavior_kind(CruiseBehavior(13.0)) == "cruise"
+        assert behavior_kind(SuddenStopBehavior(13.0, 40.0, 8.0)) == "sudden_stop"
+
+        class TunedCruise(CruiseBehavior):
+            def update(self, actor, ego, t):  # changed semantics
+                actor.accel_cmd = 0.0
+
+        # A subclass may override update, so it must NOT match the fast
+        # path of its base class.
+        assert behavior_kind(TunedCruise(13.0)) is None
+        assert behavior_kind(object()) is None
+        assert behavior_kind(None) is None
+
+    def test_spec_round_trip(self):
+        from repro.sim.agents import behavior_spec, build_behavior
+
+        source = SpeedChangeBehavior(13.0, 18.0, trigger_gap=30.0, rate=1.5)
+        spec = behavior_spec(source)
+        assert spec.kind == "speed_change"
+        rebuilt = build_behavior(spec)
+        assert isinstance(rebuilt, SpeedChangeBehavior)
+        assert rebuilt.initial_speed == source.initial_speed
+        assert rebuilt.final_speed == source.final_speed
+        assert rebuilt.trigger_gap == source.trigger_gap
+        assert rebuilt.rate == source.rate
+        assert rebuilt.triggered is False  # state is not part of the spec
+
+    def test_registry_covers_builtin_set(self):
+        from repro.sim.agents import BEHAVIOR_REGISTRY
+
+        assert set(BEHAVIOR_REGISTRY) == {
+            "cruise",
+            "speed_change",
+            "sudden_stop",
+            "cut_in",
+            "lane_change_away",
+        }
+        for cls, names in BEHAVIOR_REGISTRY.values():
+            probe = cls.__new__(cls)
+            for name in names:
+                assert name in cls.__init__.__code__.co_varnames, (cls, name)
+
+    def test_unknown_spec_returns_none(self):
+        from repro.sim.agents import behavior_spec
+
+        assert behavior_spec(object()) is None
+
+
+class TestBehaviorBatchFallback:
+    def _mixed_worlds(self):
+        """Two identical world pairs: one lane all-builtin, one lane
+        carrying a third-party behaviour (forces the scalar fallback)."""
+
+        class Oscillator:
+            """Third-party behaviour: not in the registry."""
+
+            def __init__(self):
+                self.sign = 1.0
+
+            def update(self, actor, ego, t):
+                self.sign = -self.sign
+                actor.accel_cmd = 0.4 * self.sign
+
+        worlds = []
+        for _ in range(2):
+            road = build_straight_map()
+            ego = EgoVehicle(road, s=50.0, d=0.0, speed=20.0)
+            world = World(road, ego)
+            lead = KinematicActor(road, s=90.0, d=0.0, speed=13.0, name="LV")
+            world.add_agent(AgentBinding(lead, SuddenStopBehavior(13.0, 35.0, 8.0)))
+            side = KinematicActor(road, s=70.0, d=3.7, speed=14.0, name="3P")
+            world.add_agent(AgentBinding(side, Oscillator()))
+            worlds.append(world)
+        road = build_straight_map()
+        ego = EgoVehicle(road, s=50.0, d=0.0, speed=20.0)
+        pure = World(road, ego)
+        lead = KinematicActor(road, s=90.0, d=0.0, speed=13.0, name="LV")
+        pure.add_agent(AgentBinding(lead, CutInBehavior(13.0, 45.0, target_d=0.0)))
+        worlds.insert(1, pure)
+        # serial twins, built identically
+        twins = []
+        for w in worlds:
+            road = build_straight_map()
+            ego = EgoVehicle(road, s=50.0, d=0.0, speed=20.0)
+            t = World(road, ego)
+            for binding in w.agents:
+                actor = KinematicActor(
+                    road,
+                    s=binding.actor.s,
+                    d=binding.actor.d,
+                    speed=binding.actor.speed,
+                    name=binding.actor.name,
+                )
+                beh = binding.behavior
+                if isinstance(beh, SuddenStopBehavior):
+                    twin_beh = SuddenStopBehavior(13.0, 35.0, 8.0)
+                elif isinstance(beh, CutInBehavior):
+                    twin_beh = CutInBehavior(13.0, 45.0, target_d=0.0)
+                else:
+                    twin_beh = type(beh)()
+                t.add_agent(AgentBinding(actor, twin_beh))
+            twins.append(t)
+        return worlds, twins
+
+    def test_unknown_behaviour_lane_falls_back_bit_identical(self):
+        from repro.sim.batch_state import BatchDynamics
+
+        worlds, twins = self._mixed_worlds()
+        dynamics = BatchDynamics(worlds)
+        lanes = list(range(len(worlds)))
+        dynamics.prime(lanes)
+        for _ in range(400):
+            for w in worlds + twins:
+                w.ego.apply_controls(0.0, 0.0)
+            dynamics.step(lanes, DT)
+            for t in twins:
+                t.step(DT)
+        for world, twin in zip(worlds, twins):
+            assert world.ego.s == twin.ego.s
+            assert world.ego.speed == twin.ego.speed
+            for wb, tb in zip(world.agents, twin.agents):
+                assert wb.actor.s == tb.actor.s
+                assert wb.actor.d == tb.actor.d
+                assert wb.actor.speed == tb.actor.speed
+                assert wb.actor.accel_cmd == tb.actor.accel_cmd
+                assert wb.actor.d_target == tb.actor.d_target
+                trig_w = getattr(wb.behavior, "triggered", None)
+                trig_t = getattr(tb.behavior, "triggered", None)
+                assert trig_w == trig_t

@@ -139,6 +139,77 @@ class TestBatchSerialEquivalence:
         serial, batch = _run_pair(spec, InterventionConfig(), max_steps=400)
         assert batch.results == serial.results
 
+    def test_hazard_heavy_equivalence_bit_identical(self):
+        # Short initial gaps + an RD attack: H1 marks early, S4 lanes
+        # crash (A1) — the masked hazard screen flags lanes step after
+        # step instead of staying quiet, so the scalar-fallback half of
+        # the screen is what this pins against serial.
+        spec = CampaignSpec(
+            scenario_ids=("S3", "S4"),
+            fault_types=[FaultType.RELATIVE_DISTANCE],
+            initial_gaps=(15.0,),
+            repetitions=2,
+            seed=1234,
+        )
+        serial, batch = _run_pair(spec, FULL_CFG, max_steps=500)
+        # Preconditions: the campaign is genuinely hazard-heavy.
+        assert any(r.h1 for r in serial.results)
+        assert any(r.accident is not None for r in serial.results)
+        assert batch.results == serial.results
+
+    def test_cut_in_heavy_equivalence_bit_identical(self):
+        # dense-traffic platoons carry an adjacent-lane CutInBehavior
+        # merger and S5 is the paper's cut-in scenario: adjacent-lane
+        # agents with lateral motion keep the vectorized cut-in screen
+        # flagging lanes into the scalar first-match scan, with the
+        # driver model consuming the presence bit every step.
+        spec = CampaignSpec(
+            scenario_ids=("dense-traffic", "S5"),
+            fault_types=[FaultType.MIXED],
+            initial_gaps=(40.0,),
+            repetitions=2,
+            seed=77,
+        )
+        serial, batch = _run_pair(spec, FULL_CFG, max_steps=500)
+        assert batch.results == serial.results
+        assert aggregate(batch.results) == aggregate(serial.results)
+
+
+class TestPhaseProfile:
+    def test_profiled_runs_identical_and_accumulate(self):
+        from repro.core.executor import PhaseProfile
+
+        spec = _family_spec("S4", FaultType.RELATIVE_DISTANCE, seed=11)
+        serial = run_campaign(
+            spec, FULL_CFG, executor="serial", cache=False, max_steps=300
+        )
+        for make in (
+            lambda p: SerialExecutor(profile=p),
+            lambda p: BatchExecutor(profile=p),
+        ):
+            profile = PhaseProfile()
+            profiled = run_campaign(
+                spec,
+                FULL_CFG,
+                executor=make(profile),
+                cache=False,
+                max_steps=300,
+            )
+            assert profiled.results == serial.results
+            assert profile.steps == sum(r.steps for r in serial.results)
+            assert profile.control_s > 0.0
+            assert profile.dynamics_s > 0.0
+            assert profile.post_s >= 0.0
+            assert profile.total_s == pytest.approx(
+                profile.control_s + profile.dynamics_s + profile.post_s
+            )
+            assert set(profile.as_dict()) == {
+                "control_s",
+                "dynamics_s",
+                "post_s",
+                "steps",
+            }
+
 
 class TestBatchExecutorConstruction:
     def test_rejects_nonpositive_lanes(self):

@@ -195,3 +195,47 @@ class TestGridCommandFlags:
         assert main(argv) == 0
         assert capsys.readouterr().out == first
         assert files[0].read_bytes() == stamp
+
+
+class TestProfileFlag:
+    ARGS = CAMPAIGN_ARGS + ["--scenario", "S1", "--driver"]
+
+    def test_profile_prints_breakdown_and_keeps_output_identical(
+        self, tmp_path, capsys
+    ):
+        plain = tmp_path / "plain.jsonl"
+        profiled = tmp_path / "profiled.jsonl"
+        assert main(self.ARGS + ["--executor", "batch", "-o", str(plain)]) == 0
+        capsys.readouterr()
+        rc = main(
+            self.ARGS
+            + ["--executor", "batch", "--profile", "-o", str(profiled)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-phase wall-clock over" in out
+        assert "control" in out
+        assert "dynamics" in out
+        assert "post-step tail" in out
+        # Profiling only reads the clock: the campaign bytes are unchanged.
+        assert profiled.read_bytes() == plain.read_bytes()
+
+    def test_profile_refuses_parallel_executor(self, tmp_path, capsys):
+        rc = main(
+            self.ARGS
+            + ["--jobs", "2", "--profile", "-o", str(tmp_path / "x.jsonl")]
+        )
+        assert rc == 2
+        assert "parallel executor" in capsys.readouterr().err
+
+    def test_profile_refuses_scheduled_backend(self, tmp_path, capsys):
+        rc = main(
+            self.ARGS
+            + [
+                "--backend", "subprocess", "--profile",
+                "--workdir", str(tmp_path / "wd"),
+                "-o", str(tmp_path / "x.jsonl"),
+            ]
+        )
+        assert rc == 2
+        assert "--profile" in capsys.readouterr().err

@@ -81,6 +81,71 @@ class TestHazardMonitor:
         monitor.update(world)
         assert monitor.h1.first_time == t_first
 
+    # The four edge cases below pin the exact scalar semantics the batch
+    # screen (repro.sim.batch_hazards) must reproduce: what a latched
+    # accident short-circuits, what a zero ego speed does to the headway
+    # rule, which collisions latch A1 vs A2, and which hazard an accident
+    # latch marks.
+
+    def test_zero_speed_headway_never_fires(self):
+        # headway threshold = 0.35 * 0 = 0 and gap is clamped >= 0, so a
+        # standing ego can violate no headway no matter how close the lead.
+        world = self.make_world(gap=0.5, ego_speed=0.0, lead_speed=0.0)
+        monitor = HazardMonitor()
+        world.step(0.01)
+        monitor.update(world)
+        assert not monitor.h1.occurred
+
+    def test_latched_accident_short_circuits_hazard_marks(self):
+        # Latch A2 (off-road) under nominal H1 conditions, then create a
+        # blatant H1 situation: update() must return early and mark nothing.
+        world = self.make_world(gap=40.0, ego_speed=14.0, lead_speed=13.4)
+        world.ego.d = -3.2
+        monitor = HazardMonitor()
+        world.step(0.01)
+        assert monitor.update(world) is AccidentType.A2
+        assert not monitor.h1.occurred
+        world.ego.d = 0.0
+        world.ego.speed = 20.0
+        lead = world.agents[0].actor
+        lead.s = world.ego.front_s + 3.0 + 0.5 * lead.params.length
+        lead.speed = 0.0
+        world.step(0.01)
+        assert monitor.update(world) is AccidentType.A2
+        assert not monitor.h1.occurred  # short-circuit: no new marks
+
+    def test_forward_collision_latches_a1_and_marks_h1(self):
+        # Standing ego overlapping a standing in-lane actor: neither H1
+        # rule can fire (closing = 0, headway threshold = 0), so h1 is
+        # marked by the A1 latch alone, stamped with the collision time.
+        world = self.make_world(gap=5.0, ego_speed=0.0, lead_speed=0.0)
+        lead = world.agents[0].actor
+        lead.s = world.ego.s  # full longitudinal overlap, same lane
+        world.step(0.01)
+        monitor = HazardMonitor()
+        accident = monitor.update(world)
+        assert accident is AccidentType.A1
+        assert world.collision is not None and not world.collision.lateral
+        assert monitor.h1.occurred
+        assert monitor.h1.first_time == world.collision.time
+        assert not monitor.h2.occurred
+
+    def test_lateral_collision_latches_a2_and_marks_h2(self):
+        # Same overlap but offset past 60% of the lane half-width: the
+        # collision is lateral, so it latches A2 (and marks h2, not h1).
+        world = self.make_world(gap=5.0, ego_speed=0.0, lead_speed=0.0)
+        lead = world.agents[0].actor
+        lead.s = world.ego.s
+        lead.d = 1.5  # > 0.6 * lane_half, < body-overlap width
+        world.step(0.01)
+        monitor = HazardMonitor()
+        accident = monitor.update(world)
+        assert accident is AccidentType.A2
+        assert world.collision is not None and world.collision.lateral
+        assert monitor.h2.occurred
+        assert monitor.h2.first_time == world.collision.time
+        assert not monitor.h1.occurred
+
 
 class TestGrouping:
     def results(self):

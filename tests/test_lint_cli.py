@@ -25,8 +25,9 @@ HAZARDS = textwrap.dedent(
     def emit(results):
         labels = {r.label for r in results}
         stamp = time.time()
+        root = os.environ.get("CACHE_DIR")
         token = ",".join(labels)
-        return f"{random.random():.3f}", stamp, token
+        return f"{random.random():.3f}", stamp, token, root
 
 
     def scan(pool, root):
@@ -66,6 +67,7 @@ class TestLintCommand:
         for rule_id in (
             "unseeded-rng",
             "wall-clock-digest",
+            "env-read-in-canonical",
             "unsorted-fs-iteration",
             "set-ordering",
             "unpicklable-submission",
@@ -81,6 +83,7 @@ class TestLintCommand:
         assert document["rules"] == [
             "unseeded-rng",
             "wall-clock-digest",
+            "env-read-in-canonical",
             "unsorted-fs-iteration",
             "set-ordering",
             "unpicklable-submission",
@@ -104,6 +107,7 @@ class TestLintCommand:
                 for rule in (
                     "unseeded-rng",
                     "wall-clock-digest",
+                    "env-read-in-canonical",
                     "unsorted-fs-iteration",
                     "set-ordering",
                     "unpicklable-submission",

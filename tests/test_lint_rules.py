@@ -19,6 +19,7 @@ from repro.lint.rules import get_rule, registered_rules
 BUILTIN_RULES = (
     "unseeded-rng",
     "wall-clock-digest",
+    "env-read-in-canonical",
     "unsorted-fs-iteration",
     "set-ordering",
     "unpicklable-submission",
@@ -124,6 +125,74 @@ class TestWallClockDigest:
             "stamp = time.time()  # repro-lint: disable=wall-clock-digest",
         )
         assert run_rule("wall-clock-digest", source) == []
+
+
+class TestEnvReadInCanonical:
+    FIXTURE = """\
+    # repro-lint: role=canonical
+    import os
+    root = os.environ.get("REPRO_CACHE_DIR")
+    """
+
+    def test_detects_environ_get_in_canonical_role(self):
+        findings = run_rule("env-read-in-canonical", self.FIXTURE)
+        assert [f.line for f in findings] == [3]
+        assert "os.environ.get" in findings[0].message
+
+    def test_detects_getenv_and_subscript(self):
+        findings = run_rule(
+            "env-read-in-canonical",
+            """\
+            # repro-lint: role=canonical
+            import os
+            a = os.getenv("REPRO_JOBS")
+            b = os.environ["HOME"]
+            """,
+        )
+        assert [f.line for f in findings] == [3, 4]
+
+    def test_detects_bare_imports(self):
+        findings = run_rule(
+            "env-read-in-canonical",
+            """\
+            # repro-lint: role=canonical
+            from os import environ, getenv
+            a = getenv("X")
+            b = environ.get("Y")
+            c = environ["Z"]
+            """,
+        )
+        assert [f.line for f in findings] == [3, 4, 5]
+
+    def test_silent_without_role(self):
+        source = self.FIXTURE.replace("# repro-lint: role=canonical", "")
+        assert run_rule("env-read-in-canonical", source) == []
+
+    def test_worker_modules_out_of_scope(self):
+        # Default resolution (REPRO_JOBS, REPRO_BATCH_LANES) lives in
+        # worker-role modules and must stay lintable.
+        findings = run_rule(
+            "env-read-in-canonical",
+            'import os\njobs = os.environ.get("REPRO_JOBS")\n',
+            path="src/repro/core/executor.py",
+        )
+        assert findings == []
+
+    def test_role_from_path_suffix(self):
+        findings = run_rule(
+            "env-read-in-canonical",
+            'import os\nroot = os.environ.get("REPRO_CACHE_DIR")\n',
+            path="src/repro/core/cache.py",
+        )
+        assert [f.line for f in findings] == [2]
+
+    def test_pragma_suppresses(self):
+        source = self.FIXTURE.replace(
+            'root = os.environ.get("REPRO_CACHE_DIR")',
+            'root = os.environ.get("REPRO_CACHE_DIR")'
+            "  # repro-lint: disable=env-read-in-canonical",
+        )
+        assert run_rule("env-read-in-canonical", source) == []
 
 
 class TestUnsortedFsIteration:
