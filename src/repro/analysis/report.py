@@ -99,8 +99,10 @@ class ReportConfig:
             bit-identical across worker counts.
         executor: executor name for every report campaign (``repro report
             --executor``): ``"serial"``, ``"parallel"``, or ``"batch"``
-            (vectorized lockstep; bit-identical results).  ``None`` defers
-            to ``jobs``.
+            (vectorized lockstep, ML arm included; bit-identical
+            results).  ``"batch"`` composes with ``jobs > 1`` into the
+            batch×jobs hybrid — lane shards across workers, batch engine
+            inside each.  ``None`` defers to ``jobs``.
         lanes: peak lockstep lane count for ``executor="batch"`` (``repro
             report --lanes``); ``None`` defers to the ``REPRO_BATCH_LANES``
             environment variable, then uncapped.

@@ -219,7 +219,8 @@ def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
         metavar="NAME",
         help="episode execution backend: 'serial', 'parallel' (--jobs "
         "pool), or 'batch' (vectorized lockstep, bit-identical results; "
-        "default: serial, or parallel when --jobs > 1)",
+        "with --jobs > 1 shards lanes across a worker pool, batch engine "
+        "inside each; default: serial, or parallel when --jobs > 1)",
     )
     parser.add_argument(
         "--lanes",

@@ -13,6 +13,12 @@ interchangeable backends behind one abstraction:
   ``concurrent.futures.ProcessPoolExecutor`` and reassembles results in
   submission order, so the returned list is **bit-identical** to the
   serial backend's for the same episode list.
+* :class:`BatchExecutor` — steps all episodes in lockstep through the
+  vectorized batch engine in one process; bit-identical results.
+* :class:`BatchParallelExecutor` — the batch × jobs hybrid
+  (``--executor batch --jobs N``): contiguous lane shards across worker
+  processes, the batch engine inside each, ordered reassembly; composes
+  the vectorization speedup with multi-core scaling, still bit-identical.
 
 Both backends report progress through a thread-safe ``(done, total)``
 callback (see :class:`ProgressTracker`), counted per *episode* even when
@@ -179,6 +185,13 @@ def execute_task_profiled(task: EpisodeTask, profile: PhaseProfile) -> EpisodeRe
 def _execute_chunk(tasks: Sequence[EpisodeTask]) -> List[EpisodeResult]:
     """Worker-side: run one chunk of tasks in order."""
     return [execute_task(task) for task in tasks]
+
+
+def _execute_batch_chunk(
+    tasks: Sequence[EpisodeTask], lanes: Optional[int]
+) -> List[EpisodeResult]:
+    """Worker-side: run one chunk of tasks through the batch engine."""
+    return BatchExecutor(lanes=lanes).run(tasks)
 
 
 class ProgressTracker:
@@ -523,6 +536,93 @@ class BatchExecutor(CampaignExecutor):
                 profile.post_s += perf_counter() - t2
 
 
+class BatchParallelExecutor(CampaignExecutor):
+    """Batch × jobs hybrid: lane shards across workers, batch inside each.
+
+    Composes the two previously mutually-exclusive speedups: tasks are
+    split into ``jobs`` contiguous chunks, each worker process runs the
+    vectorized :class:`BatchExecutor` on its chunk, and results are
+    reassembled in submission order.  Episodes are independent and the
+    batch engine is bit-identical to serial on *any* task subset, so the
+    chunking rule — contiguous chunks, ordered reassembly — keeps the
+    returned list byte-identical to :class:`SerialExecutor` regardless of
+    worker count or chunk boundaries.
+
+    Unlike :class:`ParallelExecutor` (many small chunks for load
+    balancing), chunks here default to one *wide* chunk per worker: the
+    batch engine's per-step array dispatch amortises better the more
+    lanes it steps together, and a campaign's episodes are near-uniform
+    in cost.
+
+    Args:
+        jobs: worker process count (>= 1).  ``jobs=1`` short-circuits to
+            an in-process :class:`BatchExecutor` — no pool overhead,
+            identical results.
+        lanes: per-worker lockstep lane cap, forwarded to each worker's
+            :class:`BatchExecutor` (``None`` = uncapped).
+        chunk_size: episodes per dispatched chunk (``None`` = one chunk
+            per worker).  Exposed for tests and tail-latency tuning;
+            results do not depend on it.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        lanes: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if lanes is not None and lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = jobs
+        self.lanes = lanes
+        self.chunk_size = chunk_size
+
+    def run(
+        self,
+        tasks: Sequence[EpisodeTask],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[EpisodeResult]:
+        if not tasks:
+            return []
+        if self.jobs == 1 or len(tasks) == 1:
+            return BatchExecutor(lanes=self.lanes).run(tasks, progress)
+        if not ParallelExecutor._dispatchable(tasks):
+            warnings.warn(
+                "campaign payload is not picklable (e.g. a lambda ml_factory); "
+                "falling back to in-process batch execution — use a "
+                "module-level factory such as repro.ml.MitigationFactory to "
+                "enable parallel dispatch",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return BatchExecutor(lanes=self.lanes).run(tasks, progress)
+
+        tracker = ProgressTracker(len(tasks), progress)
+        size = self.chunk_size
+        if size is None:
+            size = -(-len(tasks) // self.jobs)  # ceil: one chunk per worker
+        chunks = [list(tasks[i : i + size]) for i in range(0, len(tasks), size)]
+        ordered: Dict[int, List[EpisodeResult]] = {}
+        with _ProcessPool(max_workers=min(self.jobs, len(chunks))) as pool:
+            futures = {
+                pool.submit(_execute_batch_chunk, chunk, self.lanes): index
+                for index, chunk in enumerate(chunks)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                chunk_results = future.result()
+                ordered[index] = chunk_results
+                tracker.advance(len(chunk_results))
+        results: List[EpisodeResult] = []
+        for index in range(len(chunks)):
+            results.extend(ordered[index])
+        return results
+
+
 def available_cores() -> int:
     """CPUs actually usable by this process (affinity/cgroup aware).
 
@@ -623,17 +723,24 @@ def resolve_executor(
         executor: a :data:`EXECUTOR_NAMES` name, a ready
             :class:`CampaignExecutor` instance (returned unchanged), or
             ``None`` to defer to :func:`make_executor`.
-        jobs: worker count for the ``None``/``"parallel"`` cases.
-        lanes: lockstep lane cap for the ``"batch"`` case; ``None`` defers
-            to :func:`default_batch_lanes` (the ``REPRO_BATCH_LANES``
+        jobs: worker count for the ``None``/``"parallel"``/``"batch"``
+            cases; ``None`` defers to :func:`default_jobs` (the
+            ``REPRO_JOBS`` environment variable, then 1).
+            ``executor="batch"`` with more than one worker resolves to
+            the :class:`BatchParallelExecutor` hybrid (lane shards across
+            workers, batch engine inside each, bit-identical results).
+        lanes: lockstep lane cap for the ``"batch"`` case (per worker
+            under the hybrid); ``None`` defers to
+            :func:`default_batch_lanes` (the ``REPRO_BATCH_LANES``
             environment variable, then uncapped).
         profile: a :class:`PhaseProfile` to accumulate per-phase timing
             into.  Only the in-process backends can time the step loop:
-            resolving to the parallel executor with a profile raises.
+            resolving to the parallel executor or the batch×jobs hybrid
+            with a profile raises.
 
     Raises:
         ValueError: on an unknown executor name, or on ``profile`` with
-            the parallel backend.
+            a multi-process backend.
     """
     if executor is None:
         if profile is None:
@@ -654,10 +761,17 @@ def resolve_executor(
                 )
             return ParallelExecutor(jobs=jobs if jobs is not None else default_jobs())
         if executor == "batch":
-            return BatchExecutor(
-                lanes=lanes if lanes is not None else default_batch_lanes(),
-                profile=profile,
-            )
+            batch_jobs = jobs if jobs is not None else default_jobs()
+            batch_lanes = lanes if lanes is not None else default_batch_lanes()
+            if batch_jobs > 1:
+                if profile is not None:
+                    raise ValueError(
+                        "--profile times the step loop in one process, but "
+                        "--jobs > 1 shards the batch executor across worker "
+                        "processes — drop --profile or run with --jobs 1"
+                    )
+                return BatchParallelExecutor(jobs=batch_jobs, lanes=batch_lanes)
+            return BatchExecutor(lanes=batch_lanes, profile=profile)
         raise ValueError(
             f"unknown executor {executor!r}; expected one of "
             f"{', '.join(EXECUTOR_NAMES)}"

@@ -223,14 +223,18 @@ def run_campaign(
             full campaign; under resume, ``done`` starts at the number of
             episodes already on disk.
         jobs: worker process count; ``None`` defers to the ``REPRO_JOBS``
-            environment variable (then serial).  Ignored when ``executor``
-            is given.
-        executor: explicit execution backend (overrides ``jobs``) — an
+            environment variable (then serial).  Composes with
+            ``executor="batch"`` (lane shards across ``jobs`` workers,
+            batch engine inside each); ignored when ``executor`` is a
+            ready instance.
+        executor: explicit execution backend — an
             :data:`~repro.core.executor.EXECUTOR_NAMES` name
             (``"serial"``, ``"parallel"``, ``"batch"``) or a ready
             :class:`~repro.core.executor.CampaignExecutor` instance.
             ``executor="batch"`` steps all episodes in lockstep through
-            the vectorized batch engine with bit-identical results.
+            the vectorized batch engine with bit-identical results, ML
+            arm included; with ``jobs > 1`` it resolves to the
+            batch×jobs hybrid (still bit-identical).
         lanes: peak lockstep lane count for ``executor="batch"``; ``None``
             defers to the ``REPRO_BATCH_LANES`` environment variable
             (then uncapped).  Ignored by the other executors.

@@ -24,11 +24,18 @@ Bit-exactness contract (the ``tests/test_batch_executor.py`` gate):
   order, signed zeros, and guard short-circuits).
 * **Transcendentals stay per-lane ``math`` calls** (``atan``/``sin`` are
   not bit-pinned across libm/SIMD implementations).
-* **Per-lane-only features stay scalar.**  Lanes with an ML arm or a trace
-  recorder are not vectorizable (:attr:`vector_set` excludes them; the
-  executor runs their ordinary ``_control_phase``).  The driver model, the
-  fault-injection triggers and the cut-in scan run as per-lane hooks
-  *inside* the vectorized step, fed by (and feeding) the arrays.
+* **The ML arm batches its LSTM forward.**  Lanes carrying a stock
+  :class:`~repro.ml.mitigation.MitigationController` run Algorithm 1
+  through :class:`repro.sim.batch_ml.BatchMitigation` — one stacked
+  ``LstmNetwork.forward`` per tick with bit-verified row batching — and
+  arbitrate through the same vectorized hierarchy (``"ml"`` authority
+  codes included).
+* **Per-lane-only features stay scalar.**  Lanes with a trace recorder or
+  a *non-stock* ML controller are not vectorizable (:attr:`vector_set`
+  excludes them; the executor runs their ordinary ``_control_phase``).
+  The driver model, the fault-injection triggers and the cut-in scan run
+  as per-lane hooks *inside* the vectorized step, fed by (and feeding)
+  the arrays.
 
 State lives in full-width arrays indexed by global lane id; when a lane
 finishes, :meth:`retire` scatters its controller state back onto the scalar
@@ -46,6 +53,7 @@ import numpy as np
 
 from repro.adas.controlsd import AdasCommand
 from repro.adas.lat_planner import lat_plan_arrays
+from repro.ml.mitigation import MitigationController
 from repro.adas.lead_tracker import TrackedLead, tracker_step_arrays
 from repro.adas.long_planner import long_plan_arrays
 from repro.adas.perception import perception_head_arrays
@@ -54,6 +62,7 @@ from repro.safety.arbitration import FinalCommand
 from repro.safety.driver import DriverAction, DriverView
 from repro.safety.ldw import ldw_arrays
 from repro.safety.panda import checker_arrays
+from repro.sim.batch_ml import BatchMitigation
 from repro.sim.batch_state import BatchDynamics
 from repro.utils.npmath import np_max_pair, np_min_pair
 from repro.utils.units import G
@@ -66,8 +75,8 @@ _NOISE_BLOCK = 512
 #: Worst-case standard-normal draws one lane consumes per step.
 _DRAWS_PER_STEP = 5
 
-_LONG_AUTH = ("adas", "driver", "aeb")
-_LAT_AUTH = ("adas", "driver", "frozen")
+_LONG_AUTH = ("adas", "driver", "aeb", "ml")
+_LAT_AUTH = ("adas", "driver", "frozen", "ml")
 
 
 class BatchControlStack:
@@ -90,13 +99,26 @@ class BatchControlStack:
                 f"platform/world count mismatch: {n} != {len(dynamics.worlds)}"
             )
 
-        #: Lanes the vectorized path covers; the rest (ML arm, trace
-        #: recording) must run the scalar ``_control_phase``.
+        #: Lanes the vectorized path covers; the rest (trace recording, or
+        #: a non-stock ML controller whose overridden ``step`` we cannot
+        #: replicate) must run the scalar ``_control_phase``.
         self.vector_set = frozenset(
             i
             for i, p in enumerate(self.platforms)
-            if p.ml_controller is None and p.trace is None
+            if p.trace is None
+            and (
+                p.ml_controller is None
+                or type(p.ml_controller) is MitigationController
+            )
         )
+
+        #: Vectorized Algorithm 1 over the ML lanes (None without any).
+        ml_lanes = sorted(
+            i for i in self.vector_set
+            if self.platforms[i].ml_controller is not None
+        )
+        self._ml_set = frozenset(ml_lanes)
+        self.ml = BatchMitigation(self.platforms, ml_lanes) if ml_lanes else None
 
         def arr(get) -> np.ndarray:
             return np.array([float(get(p)) for p in self.platforms])
@@ -247,6 +269,7 @@ class BatchControlStack:
         self._rec_fcw = activity()
         self._rec_drv_brake = activity()
         self._rec_drv_steer = activity()
+        self._rec_ml = activity()
 
         # ---- mutable controller state (full width, global lane index) ----
         self._ff = arr(lambda p: p.perception._ff_curvature)
@@ -314,6 +337,11 @@ class BatchControlStack:
         # Last raw ADAS command per lane (ControlsD.last_command parity).
         self._last_adas_accel = np.zeros(n)
         self._last_adas_steer = np.zeros(n)
+        # Last *executed* command per lane (`_prev_exec` parity; the ML
+        # feature vector reads it, and the scalar path refreshes it every
+        # `_post_step`).
+        self._prev_accel = arr(lambda p: p._prev_exec.accel)
+        self._prev_steer = arr(lambda p: p._prev_exec.steer)
 
         # Running episode metrics (the ``_accumulate`` + follow-distance
         # part of ``_after_dynamics``), kept as arrays and flushed into the
@@ -523,6 +551,50 @@ class BatchControlStack:
             pr._lat_max_steer,
         )
 
+        # --- 4. ML mitigation from fault-free inputs (Algorithm 1) ------ #
+        ml_recovery = np.zeros(m, dtype=bool)
+        base_in_accel, base_in_steer = adas_accel, adas_steer
+        if self.ml is not None:
+            ml_sub = [j for j, lane in enumerate(key) if lane in self._ml_set]
+            if ml_sub:
+                jdx = np.asarray(ml_sub, dtype=np.intp)
+                # `_ml_features` reads the *true* sensor lead, not the
+                # perceived/attacked one: `min(rd, 120.0)` with Python-min
+                # tie semantics, 120.0 when no lead is in range.
+                rd_feat = np.where(
+                    lead_present[jdx],
+                    np_min_pair(lead_gap[jdx], 120.0),
+                    120.0,
+                )
+                features = np.column_stack(
+                    (
+                        speed[jdx],
+                        rd_feat,
+                        dist_left[jdx],
+                        dist_right[jdx],
+                        self._prev_accel[idx[jdx]],
+                        self._prev_steer[idx[jdx]],
+                    )
+                )
+                rec_sub, ml_accel, ml_steer = self.ml.step(
+                    tuple(key[j] for j in ml_sub),
+                    features,
+                    adas_accel[jdx],
+                    adas_steer[jdx],
+                )
+                ml_recovery[jdx] = rec_sub
+                if rec_sub.any():
+                    # Base path selection (arbitrator step 1): the ML
+                    # command replaces the ADAS one *before* the checker.
+                    base_in_accel = adas_accel.copy()
+                    base_in_steer = adas_steer.copy()
+                    base_in_accel[jdx] = np.where(
+                        rec_sub, ml_accel, adas_accel[jdx]
+                    )
+                    base_in_steer[jdx] = np.where(
+                        rec_sub, ml_steer, adas_steer[jdx]
+                    )
+
         # --- 5. AEBS from its configured source ------------------------- #
         indep = pr._aeb_indep
         ai_valid, ai_rd, ai_rs = t_valid, t_rd, t_rs
@@ -703,11 +775,11 @@ class BatchControlStack:
 
         # --- 7. Arbitration (checker + hierarchy) ----------------------- #
         has_chk = pr._has_checker
-        base_accel, base_steer = adas_accel, adas_steer
+        base_accel, base_steer = base_in_accel, base_in_steer
         if has_chk.any():
             c_accel, c_steer, c_ba, c_bs = checker_arrays(
-                adas_accel,
-                adas_steer,
+                base_in_accel,
+                base_in_steer,
                 self._chk_last_steer[idx],
                 dt,
                 pr._chk_max_accel,
@@ -715,8 +787,8 @@ class BatchControlStack:
                 pr._chk_max_steer,
                 pr._chk_steer_rate,
             )
-            base_accel = np.where(has_chk, c_accel, adas_accel)
-            base_steer = np.where(has_chk, c_steer, adas_steer)
+            base_accel = np.where(has_chk, c_accel, base_in_accel)
+            base_steer = np.where(has_chk, c_steer, base_in_steer)
             self._chk_last_steer[idx] = np.where(
                 has_chk, c_steer, self._chk_last_steer[idx]
             )
@@ -742,11 +814,15 @@ class BatchControlStack:
         final_steer = np.where(
             m_frozen, frozen, np.where(m_drv_steer, drv_steer_angle, base_steer)
         )
-        long_code = np.where(aeb_braking, 2, np.where(drv_brake, 1, 0))
-        lat_code = np.where(m_frozen, 2, np.where(m_drv_steer, 1, 0))
+        # Unclaimed channels stay with the base path: "ml" while Algorithm
+        # 1 is in recovery, "adas" otherwise (scalar resolve() order).
+        base_long = np.where(ml_recovery, 3, 0)
+        base_lat = np.where(ml_recovery, 3, 0)
+        long_code = np.where(aeb_braking, 2, np.where(drv_brake, 1, base_long))
+        lat_code = np.where(m_frozen, 2, np.where(m_drv_steer, 1, base_lat))
 
-        # ACC brake-authority clamp (long authority "adas"; vector lanes
-        # never carry an ML arm, so "ml" cannot occur here).
+        # ACC brake-authority clamp (long authority "adas" *or* "ml" —
+        # exactly the lanes neither AEB nor the driver is braking).
         adas_long = ~aeb_braking & ~drv_brake
         neg_auth = -pr._brake_auth
         applied_accel = np.where(
@@ -772,6 +848,8 @@ class BatchControlStack:
         # max(0.0, -accel): strictly-negative commands brake; 0.0 and -0.0
         # both map to +0.0, like the scalar max.
         self._last_brake[idx] = np.where(final_accel < 0.0, -final_accel, 0.0)
+        self._prev_accel[idx] = final_accel
+        self._prev_steer[idx] = final_steer
 
         # Intervention recorders run on the staged (post-update) outputs,
         # exactly the values the scalar `_post_step` records.
@@ -779,6 +857,7 @@ class BatchControlStack:
         self._record(self._rec_fcw, idx, fcw, now, dt)
         self._record(self._rec_drv_brake, idx, drv_brake, now, dt)
         self._record(self._rec_drv_steer, idx, drv_steer, now, dt)
+        self._record(self._rec_ml, idx, ml_recovery, now, dt)
 
         fcw_l = fcw.tolist()
         phase_l = aeb_out_phase.tolist()
@@ -790,6 +869,7 @@ class BatchControlStack:
         app_l = applied_accel.tolist()
         lc_l = long_code.tolist()
         tc_l = lat_code.tolist()
+        mlr_l = ml_recovery.tolist()
         for j, lane in enumerate(key):
             aebs_state = AebsState(
                 fcw=fcw_l[j], phase=phase_l[j], brake_accel=brake_l[j], ttc=ttc_l[j]
@@ -802,7 +882,7 @@ class BatchControlStack:
                 lat_authority=_LAT_AUTH[tc_l[j]],
             )
             self.platforms[lane]._stage_control(
-                now, None, aebs_state, driver_actions[j], False, final, app_l[j]
+                now, None, aebs_state, driver_actions[j], mlr_l[j], final, app_l[j]
             )
 
     @staticmethod
@@ -937,6 +1017,7 @@ class BatchControlStack:
                 (self._rec_fcw, result.fcw),
                 (self._rec_drv_brake, result.driver_brake),
                 (self._rec_drv_steer, result.driver_steer),
+                (self._rec_ml, result.ml_recovery),
             ):
                 first = float(rec.first[lane])
                 activity.triggered = bool(rec.trig[lane])
@@ -944,6 +1025,12 @@ class BatchControlStack:
                 activity.active_duration = float(rec.dur[lane])
                 activity.activation_count = int(rec.count[lane])
                 activity._prev_active = bool(rec.prev[lane])
+        p._prev_exec = AdasCommand(
+            accel=float(self._prev_accel[lane]),
+            steer=float(self._prev_steer[lane]),
+        )
+        if self.ml is not None:
+            self.ml.retire(lane)
         p.perception._ff_curvature = float(self._ff[lane])
         tracker = p.controls.tracker
         tracker._valid = bool(self._t_valid[lane])

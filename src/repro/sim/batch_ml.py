@@ -1,0 +1,259 @@
+"""Vectorized ML mitigation arm: N lanes' Algorithm 1 in lockstep.
+
+:class:`BatchMitigation` is the batch twin of
+:class:`repro.ml.mitigation.MitigationController`: per lockstep tick it
+maintains every ML lane's feature window in one ``(n, WINDOW, features)``
+array, normalises the full-window lanes elementwise, runs the LSTM
+baseline **once per step over all stacked windows** (the forward in
+:mod:`repro.ml.lstm` is already batch-shaped — only the per-episode
+controller drove it batch=1) and vectorizes the CUSUM/threshold
+bookkeeping lane-wide.  At :meth:`retire` the lane's window/CUSUM state is
+written through to the scalar controller object, so post-episode
+inspection sees exactly what the serial path would have left behind.
+
+Bit-exactness contract (same gate as :mod:`repro.sim.batch_control`):
+
+* **Elementwise stages are trivially exact.**  Window normalisation,
+  denormalisation, clamping, the delta/CUSUM update and the strict
+  ``S > tau`` / inclusive ``delta <= bias`` threshold branches are all
+  IEEE-754 elementwise ops replicated with scalar branch semantics
+  (``np.where`` preserving operand order and signed zeros).
+* **Row-batched matmuls are verified, not assumed.**  BLAS may pick a
+  different kernel (and a different k-summation order) for a
+  ``(B, K) @ (K, N)`` product than for the ``(1, K) @ (K, N)`` the scalar
+  path issues, which would break float64 bit-identity.  The first time a
+  given ``(network, batch_size)`` pair is seen, the batched forward is
+  computed *and* compared bitwise against per-lane batch=1 slices (the
+  scalar path's exact arithmetic); the verdict is memoized per pair —
+  kernel selection depends on shapes, not values — and lanes fall back to
+  per-lane slices whenever the batched product disagrees.
+* **Warm-up mirrors the scalar path.**  Lanes with fewer than ``WINDOW``
+  samples return the OP command with recovery False and touch no CUSUM
+  state (see ``tests/test_ml.py::TestAlgorithm1EdgeSemantics``).
+
+Campaigns can mix ML arms (distinct factories → distinct weights), so
+lanes are grouped by baseline identity and each group batches its own
+forward; the CUSUM bookkeeping stays lane-wide across groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.dataset import FEATURE_NAMES, WINDOW
+from repro.ml.mitigation import MitigationController
+from repro.utils.npmath import np_clamp
+
+_N_FEATURES = len(FEATURE_NAMES)
+
+
+class BatchMitigation:
+    """Lockstep Algorithm 1 over the ML lanes of one batch.
+
+    Args:
+        platforms: the batch's per-episode platforms, in lane order.
+        lanes: global lane ids carrying a (stock)
+            :class:`MitigationController`; every one must satisfy
+            ``type(p.ml_controller) is MitigationController`` (subclasses
+            may override ``step`` and must stay on the scalar path).
+
+    The per-lane state is initialised to the *reset* state (empty window,
+    zero CUSUM) — the executor's ``_begin_episode`` resets the scalar
+    controllers before the first tick, so both representations start
+    identical.
+    """
+
+    def __init__(self, platforms: Sequence, lanes: Sequence[int]) -> None:
+        self.platforms = list(platforms)
+        self.lanes = frozenset(lanes)
+        n = len(self.platforms)
+        for lane in lanes:
+            ctl = self.platforms[lane].ml_controller
+            if type(ctl) is not MitigationController:
+                raise ValueError(
+                    f"lane {lane}: BatchMitigation requires a stock "
+                    f"MitigationController, got {type(ctl).__name__}"
+                )
+
+        def arr(get) -> np.ndarray:
+            out = np.zeros(n)
+            for lane in lanes:
+                out[lane] = float(get(self.platforms[lane].ml_controller))
+            return out
+
+        # Algorithm 1 constants, full width (non-ML entries unused).
+        self._tau = arr(lambda c: c.params.tau)
+        self._bias = arr(lambda c: c.params.bias)
+        self._accel_w = arr(lambda c: c.params.accel_weight)
+        self._steer_w = arr(lambda c: c.params.steer_weight)
+        self._max_accel = arr(lambda c: c.params.max_accel)
+        self._min_accel = arr(lambda c: c.params.min_accel)
+        self._max_steer = arr(lambda c: c.params.max_steer)
+
+        # Scaler rows per lane (broadcast elementwise — bit-exact).
+        self._f_mean = np.zeros((n, _N_FEATURES))
+        self._f_std = np.ones((n, _N_FEATURES))
+        self._t_mean = np.zeros((n, 2))
+        self._t_std = np.ones((n, 2))
+        for lane in lanes:
+            b = self.platforms[lane].ml_controller.baseline
+            self._f_mean[lane] = np.asarray(b.feature_mean, dtype=np.float64)
+            self._f_std[lane] = np.asarray(b.feature_std, dtype=np.float64)
+            self._t_mean[lane] = np.asarray(b.target_mean, dtype=np.float64)
+            self._t_std[lane] = np.asarray(b.target_std, dtype=np.float64)
+
+        # Forward groups: lanes sharing one network batch one matmul.
+        self._groups: List[Tuple[object, frozenset]] = []
+        by_net: Dict[int, Tuple[object, List[int]]] = {}
+        for lane in lanes:
+            net = self.platforms[lane].ml_controller.baseline.network
+            by_net.setdefault(id(net), (net, []))[1].append(lane)
+        for net, members in by_net.values():
+            self._groups.append((net, frozenset(members)))
+
+        # Mutable Algorithm 1 state (the reset state; see class docstring).
+        # The window is a slide-left ring: row WINDOW-1 is the newest
+        # sample and rows [WINDOW-count:] hold the scalar list's contents
+        # in order.
+        self._window = np.zeros((n, WINDOW, _N_FEATURES))
+        self._count = np.zeros(n, dtype=np.int64)
+        self._s = np.zeros(n)
+        self._recovery = np.zeros(n, dtype=bool)
+        self._activations = np.zeros(n, dtype=np.int64)
+
+        #: (network id, batch size) -> batched forward proven bit-identical
+        #: to per-lane batch=1 slices.
+        self._batched_ok: Dict[Tuple[int, int], bool] = {}
+        #: Networks whose batched forward has disagreed at some size:
+        #: kernel-dispatch mismatches are systematic, so stop paying the
+        #: probe cost for new sizes (already-proven sizes stay batched).
+        self._net_failed: set = set()
+
+    # ------------------------------------------------------------------ #
+    # One vectorized Algorithm 1 tick
+    # ------------------------------------------------------------------ #
+
+    def step(
+        self,
+        lanes: Tuple[int, ...],
+        features: np.ndarray,
+        y_accel: np.ndarray,
+        y_steer: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One control cycle for the given ML lanes.
+
+        Args:
+            lanes: global lane ids (each must be in :attr:`lanes`).
+            features: ``(len(lanes), len(FEATURE_NAMES))`` fault-free
+                feature rows, in ``lanes`` order.
+            y_accel / y_steer: the lanes' OP commands this cycle.
+
+        Returns:
+            ``(recovery, ml_accel, ml_steer)`` arrays over ``lanes``;
+            warm-up lanes mirror the OP command with recovery False.
+        """
+        idx = np.asarray(lanes, dtype=np.intp)
+        buf = self._window
+        buf[idx, :-1] = buf[idx, 1:]
+        buf[idx, -1] = features
+        count = np.minimum(self._count[idx] + 1, WINDOW)
+        self._count[idx] = count
+
+        ml_accel = y_accel.copy()
+        ml_steer = y_steer.copy()
+        recovery = np.zeros(len(lanes), dtype=bool)
+        full = count >= WINDOW
+        if not full.any():
+            return recovery, ml_accel, ml_steer
+        fpos = np.nonzero(full)[0]
+        flanes = idx[fpos]
+
+        # predict(): normalise -> forward -> denormalise (all elementwise
+        # except the forward, which _forward_rows bit-verifies).
+        x = (buf[flanes] - self._f_mean[flanes][:, None, :]) / self._f_std[
+            flanes
+        ][:, None, :]
+        y = np.empty((len(flanes), 2))
+        for net, members in self._groups:
+            rows = np.nonzero(
+                [lane in members for lane in flanes.tolist()]
+            )[0]
+            if rows.size:
+                y[rows] = self._forward_rows(net, x[rows])
+        y = y * self._t_std[flanes] + self._t_mean[flanes]
+
+        accel_ml = np_clamp(y[:, 0], self._min_accel[flanes], self._max_accel[flanes])
+        steer_ml = np_clamp(
+            y[:, 1], -self._max_steer[flanes], self._max_steer[flanes]
+        )
+
+        delta = self._accel_w[flanes] * np.abs(
+            accel_ml - y_accel[fpos]
+        ) + self._steer_w[flanes] * np.abs(steer_ml - y_steer[fpos])
+        # max(0.0, v): Python max returns the *first* argument on ties, so
+        # v == 0.0 and v == -0.0 both map to +0.0.
+        grown = self._s[flanes] + delta - self._bias[flanes]
+        s = np.where(grown > 0.0, grown, 0.0)
+
+        rec = self._recovery[flanes]
+        activate = ~rec & (s > self._tau[flanes])
+        exit_ = rec & (delta <= self._bias[flanes])  # disjoint from activate
+        self._recovery[flanes] = (rec | activate) & ~exit_
+        self._s[flanes] = np.where(exit_, 0.0, s)
+        self._activations[flanes] += activate
+
+        ml_accel[fpos] = accel_ml
+        ml_steer[fpos] = steer_ml
+        recovery[fpos] = self._recovery[flanes]
+        return recovery, ml_accel, ml_steer
+
+    def _forward_rows(self, network, x: np.ndarray) -> np.ndarray:
+        """``network.forward`` rows, bit-identical to per-lane batch=1.
+
+        Verifies the row-batched forward against per-lane slices on first
+        use of each ``(network, batch_size)`` pair (kernel selection is
+        shape-dependent, not value-dependent) and memoizes the verdict;
+        a batch of one *is* the scalar call.
+        """
+        m = x.shape[0]
+        if m == 1:
+            return network.forward(x)
+        cache_key = (id(network), m)
+        batched_ok = self._batched_ok.get(cache_key)
+        if batched_ok is None and id(network) not in self._net_failed:
+            batched = np.asarray(network.forward(x))
+            per_lane = np.concatenate(
+                [network.forward(x[i : i + 1]) for i in range(m)], axis=0
+            )
+            batched_ok = batched.tobytes() == per_lane.tobytes()
+            self._batched_ok[cache_key] = batched_ok
+            if not batched_ok:
+                self._net_failed.add(id(network))
+            return batched if batched_ok else per_lane
+        if batched_ok:
+            return network.forward(x)
+        return np.concatenate(
+            [network.forward(x[i : i + 1]) for i in range(m)], axis=0
+        )
+
+    # ------------------------------------------------------------------ #
+    # Retirement write-through
+    # ------------------------------------------------------------------ #
+
+    def retire(self, lane: int) -> None:
+        """Write a finished lane's Algorithm 1 state back to its controller.
+
+        After this the scalar :class:`MitigationController` looks exactly
+        as if the serial path had run the episode (window contents, CUSUM
+        accumulator, recovery flag and activation count included).
+        """
+        if lane not in self.lanes:
+            return
+        ctl = self.platforms[lane].ml_controller
+        count = int(self._count[lane])
+        ctl._window = [row.tolist() for row in self._window[lane, WINDOW - count :]]
+        ctl._s = float(self._s[lane])
+        ctl.recovery = bool(self._recovery[lane])
+        ctl.activations = int(self._activations[lane])

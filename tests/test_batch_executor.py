@@ -7,21 +7,27 @@ every registered scenario family, every fault mode, and any lane width,
 while :func:`resolve_executor` keeps the name-based selection honest.
 """
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.attacks.campaign import CampaignSpec
+from repro.attacks.campaign import CampaignSpec, enumerate_campaign
 from repro.attacks.fi import FaultType
 from repro.core.executor import (
     EXECUTOR_NAMES,
     BatchExecutor,
+    BatchParallelExecutor,
+    EpisodeTask,
     ParallelExecutor,
     SerialExecutor,
     resolve_executor,
 )
 from repro.core.experiment import run_campaign
 from repro.core.metrics import aggregate
+from repro.ml.lstm import LstmNetwork
+from repro.ml.mitigation import MitigationController, MitigationFactory
+from repro.ml.trainer import TrainedBaseline
 from repro.safety.aebs import AebsConfig
 from repro.safety.arbitration import InterventionConfig
 from repro.sim.families import registered_families
@@ -243,3 +249,296 @@ class TestResolveExecutor:
 
     def test_names_registry(self):
         assert EXECUTOR_NAMES == ("serial", "parallel", "batch")
+
+    def test_batch_with_jobs_routes_to_hybrid(self):
+        backend = resolve_executor("batch", jobs=3, lanes=8)
+        assert isinstance(backend, BatchParallelExecutor)
+        assert backend.jobs == 3
+        assert backend.lanes == 8
+
+    def test_batch_with_one_job_stays_single_process(self):
+        assert isinstance(resolve_executor("batch", jobs=1), BatchExecutor)
+        assert isinstance(resolve_executor("batch"), BatchExecutor)
+
+    def test_batch_jobs_honours_repro_jobs_env(self, monkeypatch):
+        # The historical footgun: REPRO_JOBS silently ignored by
+        # --executor batch.  It must route to the hybrid now.
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert isinstance(resolve_executor("batch"), BatchParallelExecutor)
+
+    def test_profile_with_batch_jobs_refused_naming_both_flags(self):
+        from repro.core.executor import PhaseProfile
+
+        with pytest.raises(ValueError, match=r"--profile.*--jobs"):
+            resolve_executor("batch", jobs=2, profile=PhaseProfile())
+        # jobs=1 keeps profiling supported (in-process batch).
+        backend = resolve_executor("batch", jobs=1, profile=PhaseProfile())
+        assert isinstance(backend, BatchExecutor)
+        assert backend.profile is not None
+
+
+def synthetic_ml_factory(seed=7, hidden=(8, 6), token="test:synthetic"):
+    """A deterministic untrained-weights factory: predictions are
+    arbitrary (large CUSUM deltas → the recovery path actually runs),
+    construction is instant, and the bit-identity contract does not care
+    about predictive quality."""
+    baseline = TrainedBaseline(
+        network=LstmNetwork(
+            input_size=6, hidden_sizes=hidden, output_size=2, seed=seed
+        ),
+        feature_mean=np.array([20.0, 60.0, 0.9, 0.9, 0.0, 0.0]),
+        feature_std=np.array([5.0, 30.0, 0.5, 0.5, 1.0, 0.1]),
+        target_mean=np.array([0.1, 0.0]),
+        target_std=np.array([1.5, 0.05]),
+    )
+    return MitigationFactory(baseline, digest_token=f"{token}:{seed}:{hidden}")
+
+
+#: ML arm on top of the widest stack: Algorithm 1 arbitrates against the
+#: driver, the checker and independent AEB inside the vectorized path.
+ML_CFG = InterventionConfig(
+    ml=True, driver=True, safety_check=True, aeb=AebsConfig.INDEPENDENT
+)
+
+
+class TestBatchMlLaneEquivalence:
+    """ML-arm lanes ride the vectorized path — and stay bit-identical."""
+
+    def _ml_pair(self, spec, max_steps, executor, cfg=ML_CFG, factory=None):
+        factory = factory or synthetic_ml_factory()
+        serial = run_campaign(
+            spec, cfg, ml_factory=factory, executor="serial",
+            cache=False, max_steps=max_steps,
+        )
+        other = run_campaign(
+            spec, cfg, ml_factory=factory, executor=executor,
+            cache=False, max_steps=max_steps,
+        )
+        return serial, other
+
+    def test_ml_campaign_bit_identical_with_mid_batch_finish(self):
+        # S1+S4 under an RD attack with ML as the lone intervention: the
+        # S4 lanes crash (A1) ~150 steps before the S1 lanes reach
+        # max_steps, so lanes retire mid-batch and the ML write-through
+        # and active-set reshuffle both happen with recovery state live.
+        spec = CampaignSpec(
+            scenario_ids=("S1", "S4"),
+            fault_types=[FaultType.RELATIVE_DISTANCE],
+            initial_gaps=(60.0,),
+            repetitions=2,
+            seed=99,
+        )
+        serial, batch = self._ml_pair(
+            spec, 500, "batch", cfg=InterventionConfig(ml=True)
+        )
+        # Preconditions: recovery genuinely activates and lanes genuinely
+        # finish at different steps — otherwise this test proves nothing.
+        assert any(r.ml_recovery.triggered for r in serial.results)
+        assert len({r.steps for r in serial.results}) > 1
+        assert batch.results == serial.results
+        assert aggregate(batch.results) == aggregate(serial.results)
+
+    def test_ml_lane_chunk_boundaries(self):
+        spec = CampaignSpec(
+            scenario_ids=("S1", "S4"),
+            fault_types=[FaultType.RELATIVE_DISTANCE],
+            initial_gaps=(60.0,),
+            repetitions=2,
+            seed=31,
+        )
+        factory = synthetic_ml_factory()
+        serial = run_campaign(
+            spec, ML_CFG, ml_factory=factory, executor="serial",
+            cache=False, max_steps=400,
+        )
+        for lanes in (1, 3, 100):
+            batch = run_campaign(
+                spec, ML_CFG, ml_factory=factory,
+                executor=BatchExecutor(lanes=lanes),
+                cache=False, max_steps=400,
+            )
+            assert batch.results == serial.results, lanes
+
+    def test_full_stack_with_ml_bit_identical(self):
+        # ML recovery commands flowing through the checker, driver and
+        # independent AEB: the arbitration interplay (authority codes,
+        # ACC brake clamp under "ml" authority) must vectorize exactly.
+        spec = _family_spec("S2", FaultType.DESIRED_CURVATURE, seed=5)
+        serial, batch = self._ml_pair(spec, 400, "batch")
+        assert any(r.ml_recovery.triggered for r in serial.results)
+        assert batch.results == serial.results
+
+    def test_ml_lanes_join_vector_set(self):
+        from repro.core.platform import SimulationPlatform
+        from repro.sim.batch_control import BatchControlStack
+        from repro.sim.batch_state import BatchDynamics
+
+        spec = _family_spec("S1", FaultType.NONE, seed=1, repetitions=1)
+        episodes = enumerate_campaign(spec)
+        factory = synthetic_ml_factory()
+        platforms = [
+            SimulationPlatform(
+                episodes[0], ML_CFG, ml_controller=factory(), max_steps=50
+            )
+        ]
+        dynamics = BatchDynamics(
+            [p.world for p in platforms],
+            curvature_lookaheads=[
+                p.perception.params.curvature_lookahead for p in platforms
+            ],
+            lead_max_ranges=[p.sensor.max_range for p in platforms],
+        )
+        stack = BatchControlStack(platforms, dynamics)
+        assert stack.vector_set == {0}
+        assert stack.ml is not None
+
+    def test_non_stock_controller_falls_back_to_scalar_and_matches(self):
+        # A subclass may override step(): the batch path must refuse to
+        # vectorize it (scalar fallback) and still match serial.
+        class TracingController(MitigationController):
+            pass
+
+        baseline = synthetic_ml_factory().baseline
+
+        def custom_factory():
+            return TracingController(baseline)
+
+        spec = _family_spec("S1", FaultType.RELATIVE_DISTANCE, seed=13)
+        # The nested factory is deliberate: both backends run in-process
+        # here, and hoisting it would lose the subclass-under-test.
+        serial = run_campaign(
+            spec, ML_CFG, ml_factory=custom_factory, executor="serial",  # repro-lint: disable=unpicklable-submission
+            cache=False, max_steps=300,
+        )
+        batch = run_campaign(
+            spec, ML_CFG, ml_factory=custom_factory, executor="batch",  # repro-lint: disable=unpicklable-submission
+            cache=False, max_steps=300,
+        )
+        assert batch.results == serial.results
+
+    def test_mixed_ml_and_plain_lanes_one_batch(self):
+        # One lockstep batch mixing ML lanes (two distinct baselines —
+        # distinct networks must group separately) with plain lanes.
+        spec = _family_spec("S1", FaultType.RELATIVE_DISTANCE, seed=21)
+        episodes = enumerate_campaign(spec)
+        factories = [synthetic_ml_factory(seed=1), synthetic_ml_factory(seed=2), None]
+        tasks = [
+            EpisodeTask.make(
+                episode,
+                ML_CFG if factory is not None else FULL_CFG,
+                ml_factory=factory,
+                max_steps=400,
+            )
+            for episode in episodes
+            for factory in factories
+        ]
+        serial = SerialExecutor().run(tasks)
+        batch = BatchExecutor().run(tasks)
+        assert batch == serial
+
+
+class TestBatchParallelExecutor:
+    def _spec(self, seed=99):
+        return CampaignSpec(
+            scenario_ids=("S1", "S4"),
+            fault_types=[FaultType.RELATIVE_DISTANCE],
+            initial_gaps=(60.0,),
+            repetitions=3,
+            seed=seed,
+        )
+
+    def test_hybrid_byte_identical_to_serial_including_ml(self, tmp_path):
+        import hashlib
+
+        factory = synthetic_ml_factory()
+        serial = run_campaign(
+            self._spec(), ML_CFG, ml_factory=factory, executor="serial",
+            cache=False, max_steps=300,
+        )
+        hybrid = run_campaign(
+            self._spec(), ML_CFG, ml_factory=factory, executor="batch",
+            jobs=2, cache=False, max_steps=300,
+        )
+        assert hybrid.results == serial.results
+
+        def digest(campaign, name):
+            path = tmp_path / name
+            campaign.save(str(path))
+            return hashlib.sha256(path.read_bytes()).hexdigest()
+
+        assert digest(hybrid, "hybrid.jsonl") == digest(serial, "serial.jsonl")
+
+    def test_chunk_boundaries_do_not_change_results(self):
+        serial = run_campaign(
+            self._spec(7), FULL_CFG, executor="serial", cache=False,
+            max_steps=300,
+        )
+        for chunk_size in (1, 2, 4):
+            hybrid = run_campaign(
+                self._spec(7),
+                FULL_CFG,
+                executor=BatchParallelExecutor(jobs=2, chunk_size=chunk_size),
+                cache=False,
+                max_steps=300,
+            )
+            assert hybrid.results == serial.results, chunk_size
+
+    def test_jobs_one_short_circuits_in_process(self):
+        serial = run_campaign(
+            self._spec(3), FULL_CFG, executor="serial", cache=False,
+            max_steps=200,
+        )
+        hybrid = run_campaign(
+            self._spec(3),
+            FULL_CFG,
+            executor=BatchParallelExecutor(jobs=1),
+            cache=False,
+            max_steps=200,
+        )
+        assert hybrid.results == serial.results
+
+    def test_non_picklable_payload_falls_back_with_warning(self):
+        # The lambda factory is the hazard under test: the hybrid's
+        # pickle probe must catch it and fall back in-process.
+        baseline = synthetic_ml_factory().baseline
+        spec = _family_spec("S1", FaultType.NONE, seed=2, repetitions=2)
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            hybrid = run_campaign(
+                spec,
+                ML_CFG,
+                ml_factory=lambda: MitigationController(baseline),  # repro-lint: disable=unpicklable-submission
+                executor=BatchParallelExecutor(jobs=2),
+                cache=False,
+                max_steps=200,
+            )
+        serial = run_campaign(
+            spec,
+            ML_CFG,
+            ml_factory=lambda: MitigationController(baseline),  # repro-lint: disable=unpicklable-submission
+            executor="serial",
+            cache=False,
+            max_steps=200,
+        )
+        assert hybrid.results == serial.results
+
+    def test_progress_reports_all_episodes(self):
+        seen = []
+        run_campaign(
+            self._spec(5),
+            FULL_CFG,
+            executor=BatchParallelExecutor(jobs=2),
+            cache=False,
+            max_steps=150,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen[-1] == (6, 6)
+        dones = [d for d, _ in seen]
+        assert dones == sorted(dones)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError, match="jobs"):
+            BatchParallelExecutor(jobs=0)
+        with pytest.raises(ValueError, match="lanes"):
+            BatchParallelExecutor(jobs=2, lanes=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            BatchParallelExecutor(jobs=2, chunk_size=0)

@@ -1,0 +1,199 @@
+"""BatchMitigation unit tests: lockstep Algorithm 1 vs the scalar controller.
+
+The executor-level gate lives in ``tests/test_batch_executor.py``; these
+tests pin the stage contract directly — per-step command/recovery output
+and post-retire controller state must be bit-identical to driving the
+scalar :class:`MitigationController` with the same feature stream,
+including warm-up, activation, exit and the sliding window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adas.controlsd import AdasCommand
+from repro.ml.dataset import WINDOW
+from repro.ml.lstm import LstmNetwork
+from repro.ml.mitigation import (
+    MitigationController,
+    MitigationFactory,
+    MitigationParams,
+)
+from repro.ml.trainer import TrainedBaseline
+from repro.sim.batch_ml import BatchMitigation
+
+
+def synthetic_baseline(seed=7, hidden=(8, 6)):
+    """An untrained (but deterministic) baseline: predictions are
+    arbitrary, which is exactly what the bit-identity contract needs —
+    the CUSUM sees large deltas and exercises the recovery path."""
+    return TrainedBaseline(
+        network=LstmNetwork(
+            input_size=6, hidden_sizes=hidden, output_size=2, seed=seed
+        ),
+        feature_mean=np.array([20.0, 60.0, 0.9, 0.9, 0.0, 0.0]),
+        feature_std=np.array([5.0, 30.0, 0.5, 0.5, 1.0, 0.1]),
+        target_mean=np.array([0.1, 0.0]),
+        target_std=np.array([1.5, 0.05]),
+    )
+
+
+class _FakePlatform:
+    def __init__(self, controller):
+        self.ml_controller = controller
+
+
+def _feature_stream(rng, steps):
+    return [
+        [
+            float(15.0 + 10.0 * rng.random()),
+            float(120.0 * rng.random()),
+            float(rng.random()),
+            float(rng.random()),
+            float(rng.normal(0.0, 1.0)),
+            float(rng.normal(0.0, 0.05)),
+        ]
+        for _ in range(steps)
+    ]
+
+
+class TestBatchMitigationEquivalence:
+    def drive_pair(self, n_lanes, steps, baselines=None, params=None, seed=0):
+        """Drive scalar controllers and a BatchMitigation on one stream."""
+        params = params or MitigationParams(tau=0.5, bias=0.2)
+        baselines = baselines or [synthetic_baseline()] * n_lanes
+        scalar = [MitigationController(b, params) for b in baselines]
+        batch_ctl = [MitigationController(b, params) for b in baselines]
+        for lhs, rhs in zip(scalar, batch_ctl):
+            assert lhs.baseline is rhs.baseline
+        platforms = [_FakePlatform(c) for c in batch_ctl]
+        batch = BatchMitigation(platforms, range(n_lanes))
+
+        rng = np.random.default_rng(seed)
+        streams = [_feature_stream(rng, steps) for _ in range(n_lanes)]
+        y_ops = [
+            [AdasCommand(float(rng.normal()), float(rng.normal(0.0, 0.1)))
+             for _ in range(steps)]
+            for _ in range(n_lanes)
+        ]
+        for t in range(steps):
+            features = np.array([streams[i][t] for i in range(n_lanes)])
+            y_a = np.array([y_ops[i][t].accel for i in range(n_lanes)])
+            y_s = np.array([y_ops[i][t].steer for i in range(n_lanes)])
+            rec, mla, mls = batch.step(tuple(range(n_lanes)), features, y_a, y_s)
+            for i in range(n_lanes):
+                cmd, r = scalar[i].step(streams[i][t], y_ops[i][t], 0.01)
+                assert r == bool(rec[i]), (t, i)
+                assert cmd.accel == mla[i], (t, i)
+                assert cmd.steer == mls[i], (t, i)
+        for lane in range(n_lanes):
+            batch.retire(lane)
+        for lhs, rhs in zip(scalar, batch_ctl):
+            assert rhs._window == lhs._window
+            assert rhs._s == lhs._s
+            assert rhs.recovery == lhs.recovery
+            assert rhs.activations == lhs.activations
+        return scalar
+
+    def test_single_lane_is_bit_identical(self):
+        self.drive_pair(1, WINDOW + 40)
+
+    def test_many_lanes_bit_identical_including_recovery(self):
+        scalar = self.drive_pair(7, WINDOW + 120, seed=3)
+        # The stream must actually exercise Algorithm 1's activation path,
+        # or the equality above proves nothing about the CUSUM math.
+        assert any(c.activations > 0 for c in scalar)
+
+    def test_warm_up_shorter_than_window(self):
+        self.drive_pair(3, WINDOW - 5)
+
+    def test_mixed_baselines_group_per_network(self):
+        baselines = [
+            synthetic_baseline(seed=1),
+            synthetic_baseline(seed=2),
+            synthetic_baseline(seed=1, hidden=(16, 8)),
+            synthetic_baseline(seed=2),
+        ]
+        self.drive_pair(4, WINDOW + 60, baselines=baselines, seed=11)
+
+    def test_tie_breaking_params_bit_identical(self):
+        # Thresholds sitting exactly on the comparison boundary: the
+        # strict S > tau and inclusive delta <= bias branches must agree.
+        params = MitigationParams(tau=0.0, bias=0.0)
+        self.drive_pair(4, WINDOW + 30, params=params, seed=5)
+
+
+class TestBatchMitigationInternals:
+    def make(self, n=3, params=None):
+        baseline = synthetic_baseline()
+        params = params or MitigationParams()
+        platforms = [
+            _FakePlatform(MitigationController(baseline, params))
+            for _ in range(n)
+        ]
+        return BatchMitigation(platforms, range(n)), platforms
+
+    def test_rejects_non_stock_controller(self):
+        class Custom(MitigationController):
+            pass
+
+        platform = _FakePlatform(Custom(synthetic_baseline()))
+        with pytest.raises(ValueError, match="stock MitigationController"):
+            BatchMitigation([platform], [0])
+
+    def test_forward_verification_memoizes_per_batch_size(self):
+        batch, _ = self.make(n=3)
+        net = synthetic_baseline().network
+        x = np.random.default_rng(0).normal(size=(3, WINDOW, 6))
+        batch._forward_rows(net, x)
+        assert (id(net), 3) in batch._batched_ok
+        # Batch of one is the scalar call itself — never probed.
+        batch._forward_rows(net, x[:1])
+        assert (id(net), 1) not in batch._batched_ok
+
+    def test_forward_rows_match_predict_one_slices(self):
+        # Whatever mode the probe picks, the output must equal per-lane
+        # batch=1 forwards (the scalar predict_one arithmetic).
+        batch, _ = self.make(n=4)
+        net = synthetic_baseline().network
+        x = np.random.default_rng(1).normal(size=(4, WINDOW, 6))
+        rows = batch._forward_rows(net, x)
+        expected = np.concatenate(
+            [net.forward(x[i : i + 1]) for i in range(4)], axis=0
+        )
+        assert rows.tobytes() == expected.tobytes()
+        # Second call takes the memoized path; result must not change.
+        assert batch._forward_rows(net, x).tobytes() == expected.tobytes()
+
+    def test_failed_probe_stops_probing_new_sizes(self):
+        class _LyingNetwork:
+            """forward() whose batched rows disagree with batch=1 rows."""
+
+            def __init__(self):
+                self.calls = []
+
+            def forward(self, x):
+                self.calls.append(x.shape[0])
+                out = np.full((x.shape[0], 2), float(x.shape[0]))
+                return out
+
+        batch, _ = self.make(n=2)
+        net = _LyingNetwork()
+        x = np.zeros((3, WINDOW, 6))
+        rows = batch._forward_rows(net, x)
+        # Fallback output is built from batch=1 slices.
+        assert np.all(rows == 1.0)
+        assert batch._batched_ok[(id(net), 3)] is False
+        calls_after_probe = len(net.calls)
+        # A new size skips the batched probe entirely (per-lane only).
+        rows = batch._forward_rows(net, np.zeros((2, WINDOW, 6)))
+        assert np.all(rows == 1.0)
+        assert net.calls[calls_after_probe:] == [1, 1]
+
+    def test_retire_ignores_non_ml_lane(self):
+        baseline = synthetic_baseline()
+        platforms = [
+            _FakePlatform(MitigationController(baseline)),
+            _FakePlatform(None),
+        ]
+        batch = BatchMitigation(platforms, [0])
+        batch.retire(1)  # must not raise

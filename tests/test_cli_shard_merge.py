@@ -228,6 +228,32 @@ class TestProfileFlag:
         assert rc == 2
         assert "parallel executor" in capsys.readouterr().err
 
+    def test_profile_refuses_batch_jobs_hybrid(self, tmp_path, capsys):
+        rc = main(
+            self.ARGS
+            + [
+                "--executor", "batch", "--jobs", "2", "--profile",
+                "-o", str(tmp_path / "x.jsonl"),
+            ]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        # The refusal must name both conflicting flags, not just one.
+        assert "--profile" in err
+        assert "--jobs" in err
+
+    def test_batch_jobs_cli_output_byte_identical_to_serial(self, tmp_path):
+        serial = tmp_path / "serial.jsonl"
+        hybrid = tmp_path / "hybrid.jsonl"
+        assert main(
+            self.ARGS + ["--executor", "serial", "-o", str(serial)]
+        ) == 0
+        assert main(
+            self.ARGS
+            + ["--executor", "batch", "--jobs", "2", "-o", str(hybrid)]
+        ) == 0
+        assert hybrid.read_bytes() == serial.read_bytes()
+
     def test_profile_refuses_scheduled_backend(self, tmp_path, capsys):
         rc = main(
             self.ARGS

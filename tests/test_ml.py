@@ -6,7 +6,11 @@ import pytest
 from repro.adas.controlsd import AdasCommand
 from repro.ml.dataset import FEATURE_NAMES, WINDOW, Trace, TraceDataset
 from repro.ml.lstm import LstmNetwork
-from repro.ml.mitigation import MitigationController, MitigationParams
+from repro.ml.mitigation import (
+    MitigationController,
+    MitigationFactory,
+    MitigationParams,
+)
 from repro.ml.optim import Adam
 from repro.ml.trainer import EXPLORED_CONFIGS, TrainedBaseline
 
@@ -245,3 +249,116 @@ class TestAlgorithm1:
         ctl.reset()
         assert ctl.cusum == 0.0
         assert not ctl.recovery
+
+
+class TestAlgorithm1EdgeSemantics:
+    """Pins the exact step semantics the batch path must replicate.
+
+    These contracts (warm-up mirroring, the strict ``S > tau`` crossing,
+    reset-on-exit, per-episode factory isolation) are what
+    :class:`repro.sim.batch_ml.BatchMitigation` vectorizes — any drift
+    here breaks the batch/serial bit-identity gate.
+    """
+
+    FEATURES = [20.0, 50.0, 0.9, 0.9, 0.0, 0.0]
+
+    def make(self, accel=-2.0, steer=0.0, **kwargs):
+        params = MitigationParams(**kwargs) if kwargs else MitigationParams()
+        return MitigationController(_ConstantBaseline(accel, steer), params)
+
+    def test_warm_up_mirrors_y_op_verbatim(self):
+        # With fewer than WINDOW samples the controller must return the
+        # exact OP command object, never a prediction.
+        ctl = self.make(accel=-50.0)
+        y_op = AdasCommand(1.25, -0.03)
+        for step in range(WINDOW - 1):
+            cmd, recovery = ctl.step(self.FEATURES, y_op, 0.01)
+            assert cmd is y_op
+            assert recovery is False
+            assert ctl.cusum == 0.0
+            assert len(ctl._window) == step + 1
+        # Step WINDOW is the first one that predicts.
+        cmd, _ = ctl.step(self.FEATURES, y_op, 0.01)
+        assert cmd is not y_op
+        assert len(ctl._window) == WINDOW
+
+    def test_window_slides_and_keeps_latest_samples(self):
+        ctl = self.make()
+        for i in range(WINDOW + 7):
+            features = [float(i)] * len(FEATURE_NAMES)
+            ctl.step(features, AdasCommand(0.0, 0.0), 0.01)
+        assert len(ctl._window) == WINDOW
+        assert ctl._window[0][0] == 7.0  # oldest surviving sample
+        assert ctl._window[-1][0] == float(WINDOW + 6)
+
+    def test_threshold_crossing_is_strict(self):
+        # delta = |1.0 - 0.0| = 1.0 per step, bias 0.5 -> S grows by
+        # exactly 0.5/step (representable); tau = 1.0.  S reaches tau
+        # exactly on the second post-warm-up step and must NOT trigger
+        # (Algorithm 1 line 10 is strict); the third step crosses.
+        ctl = self.make(accel=1.0, tau=1.0, bias=0.5)
+        y_op = AdasCommand(0.0, 0.0)
+        for _ in range(WINDOW - 1):
+            ctl.step(self.FEATURES, y_op, 0.01)
+        _, rec = ctl.step(self.FEATURES, y_op, 0.01)
+        assert ctl.cusum == 0.5 and not rec
+        _, rec = ctl.step(self.FEATURES, y_op, 0.01)
+        assert ctl.cusum == 1.0 and not rec  # S == tau: no activation
+        _, rec = ctl.step(self.FEATURES, y_op, 0.01)
+        assert ctl.cusum == 1.5 and rec
+        assert ctl.activations == 1
+
+    def test_exit_boundary_is_inclusive_and_resets_s(self):
+        # Recovery exits when delta <= bias (inclusive); S resets to 0.
+        ctl = self.make(accel=1.0, tau=1.0, bias=0.5)
+        y_op_diverged = AdasCommand(0.0, 0.0)
+        for _ in range(WINDOW + 2):
+            ctl.step(self.FEATURES, y_op_diverged, 0.01)
+        assert ctl.recovery
+        # delta = |1.0 - 0.5| = 0.5 == bias: must exit and reset.
+        _, rec = ctl.step(self.FEATURES, AdasCommand(0.5, 0.0), 0.01)
+        assert not rec
+        assert ctl.cusum == 0.0
+
+    def test_activation_and_exit_never_share_a_step(self):
+        # The scalar `elif` evaluates exit against the *pre-step* recovery
+        # flag: a step that activates cannot also exit, even if its delta
+        # would satisfy the exit test.
+        ctl = self.make(accel=1.0, tau=0.1, bias=2.0)
+        ctl._s = 5.0
+        ctl._window = [list(self.FEATURES)] * WINDOW
+        # delta = 1.0 <= bias, but recovery was False: activation wins.
+        _, rec = ctl.step(self.FEATURES, AdasCommand(0.0, 0.0), 0.01)
+        assert rec
+        assert ctl.activations == 1
+
+    def test_cusum_floors_at_zero(self):
+        # bias > delta drains S but max(0, .) floors it at exactly +0.0.
+        ctl = self.make(accel=1.0, bias=5.0)
+        for _ in range(WINDOW + 10):
+            _, rec = ctl.step(self.FEATURES, AdasCommand(0.0, 0.0), 0.01)
+        assert ctl.cusum == 0.0
+        assert not rec
+
+    def test_factory_controllers_are_isolated_between_episodes(self):
+        factory = MitigationFactory(
+            _ConstantBaseline(-2.0, 0.0),
+            MitigationParams(tau=1.0, bias=0.5),
+            digest_token="test:constant",
+        )
+        first = factory()
+        for _ in range(WINDOW + 5):
+            first.step(self.FEATURES, AdasCommand(2.0, 0.0), 0.01)
+        assert first.recovery and first.activations == 1
+        second = factory()
+        # Fresh CUSUM/window state; shared (read-only) baseline + params.
+        assert second is not first
+        assert second.cusum == 0.0
+        assert not second.recovery
+        assert second.activations == 0
+        assert second._window == []
+        assert second.baseline is first.baseline
+        assert second.params is first.params
+        # Driving the new controller must not disturb the old one's state.
+        second.step(self.FEATURES, AdasCommand(2.0, 0.0), 0.01)
+        assert first.recovery and len(first._window) == WINDOW
